@@ -1,0 +1,43 @@
+"""Fig. 8 — detected queue spot count per zone per day of week.
+
+Paper shape:
+    * the Central zone has by far the most spots (despite ~6% of the
+      area) — most offices, malls and attractions sit there;
+    * weekday counts are stable Mon-Fri;
+    * the Central count dips slightly on Saturday/Sunday (fewer working
+      commuters), without collapsing (shoppers and tourists remain).
+"""
+
+from conftest import emit
+
+from repro.analysis.stability import zone_counts_by_day
+from repro.sim.config import DAY_NAMES
+
+
+def test_fig8_zone_counts_by_day(benchmark, bench_week):
+    table = benchmark.pedantic(
+        lambda: zone_counts_by_day(bench_week), rounds=1, iterations=1
+    )
+    lines = [
+        "== Fig. 8: detected queue spots per zone per day ==",
+        "(paper shape: Central largest; stable Mon-Fri; Central dips on"
+        " the weekend)",
+        "",
+        f"{'zone':<10}" + "".join(f"{d:>6}" for d in DAY_NAMES),
+    ]
+    for zone, counts in table.items():
+        lines.append(f"{zone:<10}" + "".join(f"{c:>6d}" for c in counts))
+    emit("fig8_zone_week", lines)
+
+    central = table["Central"]
+    others_max = max(
+        max(counts) for zone, counts in table.items() if zone != "Central"
+    )
+    # Central dominates every day.
+    assert min(central) >= others_max - 2
+    # Weekday stability: Mon-Fri spread is small.
+    weekday = central[:5]
+    assert max(weekday) - min(weekday) <= 3
+    # Weekend Central count does not exceed the weekday average.
+    weekday_avg = sum(weekday) / 5
+    assert central[6] <= weekday_avg + 1

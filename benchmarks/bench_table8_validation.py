@@ -1,0 +1,75 @@
+"""Table 8 — validation with the vehicle monitor and failed bookings.
+
+Paper reference values (averages per labelled slot):
+
+    label    monitored taxis    failed bookings
+    C1             6.13              0.35
+    C2             1.35              4.29
+    C3             3.26              0.13
+    C4             0.32              0.73
+    Unid.          1.56              0.24
+
+Shape: monitored taxi counts for C1 and C3 are notably higher than C2 and
+C4 (real taxi queues); failed bookings for C2 are significantly higher
+than every other label (passengers who cannot get a taxi).
+"""
+
+from conftest import emit
+
+from repro.analysis.validation import validate_against_monitor_and_bookings
+from repro.core.types import QueueType
+
+_PAPER = {
+    QueueType.C1: (6.13, 0.35),
+    QueueType.C2: (1.35, 4.29),
+    QueueType.C3: (3.26, 0.13),
+    QueueType.C4: (0.32, 0.73),
+    QueueType.UNIDENTIFIED: (1.56, 0.24),
+}
+
+
+def test_table8_external_validation(benchmark, bench_day, bench_analyses):
+    locations = {
+        spot_id: (truth.lon, truth.lat)
+        for spot_id, truth in bench_day.ground_truth.spots.items()
+    }
+
+    def run():
+        return validate_against_monitor_and_bookings(
+            bench_analyses.values(),
+            bench_day.monitor_readings,
+            bench_day.failed_bookings,
+            bench_day.ground_truth.grid,
+            locations,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "== Table 8: avg monitored taxis / failed bookings per label ==",
+        f"{'label':<14}{'taxis paper':>12}{'taxis ours':>12}"
+        f"{'fails paper':>12}{'fails ours':>12}{'slots':>8}",
+    ]
+    for qt in QueueType:
+        taxis_p, fails_p = _PAPER[qt]
+        lines.append(
+            f"{qt.value:<14}{taxis_p:>12.2f}"
+            f"{result.avg_taxi_count[qt]:>12.2f}"
+            f"{fails_p:>12.2f}"
+            f"{result.avg_failed_bookings[qt]:>12.2f}"
+            f"{result.slots_per_label[qt]:>8d}"
+        )
+    emit("table8_validation", lines)
+
+    taxis = result.avg_taxi_count
+    fails = result.avg_failed_bookings
+    # Taxi-queue labels hold clearly more monitored taxis than C4.
+    assert taxis[QueueType.C1] > taxis[QueueType.C4]
+    assert taxis[QueueType.C3] > taxis[QueueType.C4]
+    assert taxis[QueueType.C3] > taxis[QueueType.C2]
+    # Failed bookings peak at C2 (when enough C2 slots exist to measure).
+    if result.slots_per_label[QueueType.C2] >= 10:
+        others = max(
+            fails[QueueType.C1], fails[QueueType.C3], fails[QueueType.C4]
+        )
+        assert fails[QueueType.C2] > others

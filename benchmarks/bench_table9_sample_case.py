@@ -1,0 +1,70 @@
+"""Table 9 — the Lucky Plaza sample case: one mall spot over a Sunday.
+
+Paper timeline for the Lucky Plaza queue spot on a Sunday:
+
+    C1  00:00-00:30               (night-club crowd meets taxi queue)
+    C3  00:30-01:30               (leftover taxi queue drains)
+    C4  01:30-08:30, 21:30-23:30  (quiet night / late evening)
+    C1/C2 alternating ~11:00-20:00 (shopping peak)
+
+Shape checks: early-midnight queueing, a quiet pre-dawn stretch, and a
+shopping-peak afternoon dominated by passenger-queue contexts (C1/C2).
+"""
+
+from conftest import bench_config, emit
+
+from repro.analysis.sample_case import pick_mall_spot, sample_case_timeline
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.core.types import QueueType
+from repro.sim.fleet import simulate_day
+
+
+def test_table9_mall_sunday(benchmark, bench_city):
+    config = bench_config(day_of_week=6)
+    output = simulate_day(config, city=bench_city)
+    engine = QueueAnalyticEngine(
+        zones=bench_city.zones,
+        projection=bench_city.projection,
+        config=EngineConfig(observed_fraction=config.observed_fraction),
+        city_bbox=bench_city.bbox,
+        inaccessible=bench_city.water,
+    )
+    detection = engine.detect_spots(output.store)
+
+    def run():
+        return engine.disambiguate(
+            output.store, detection, output.ground_truth.grid
+        )
+
+    analyses = benchmark.pedantic(run, rounds=1, iterations=1)
+    mall = pick_mall_spot(list(analyses.values()), bench_city)
+    assert mall is not None, "no mall-anchored spot detected"
+
+    grid = output.ground_truth.grid
+    timeline = sample_case_timeline(mall, grid)
+    lines = [
+        "== Table 9: sample mall spot, Sunday label timeline ==",
+        f"(spot {mall.spot.spot_id}, {mall.spot.pickup_count} pickups; "
+        "paper: Lucky Plaza)",
+        "",
+    ]
+    for qt in QueueType:
+        ranges = ", ".join(timeline[qt.value]) or "-"
+        lines.append(f"{qt.value:<14}{ranges}")
+    emit("table9_sample_case", lines)
+
+    labels = [slot_label.label for slot_label in mall.labels]
+    # Early-midnight slots show queueing activity (C1 or C3), matching
+    # the night-club pattern.
+    assert any(
+        labels[i] in (QueueType.C1, QueueType.C3, QueueType.C2)
+        for i in range(0, 3)
+    )
+    # The pre-dawn stretch (03:00-06:00) holds no passenger queue.
+    for i in range(6, 12):
+        assert labels[i] not in (QueueType.C1, QueueType.C2)
+    # The shopping peak (12:00-19:00) is dominated by passenger-queue
+    # contexts.
+    peak = labels[24:38]
+    pq = sum(1 for l in peak if l in (QueueType.C1, QueueType.C2))
+    assert pq >= len(peak) // 2

@@ -1,0 +1,100 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's section 6 (see
+DESIGN.md's experiment index).  Simulation and pipeline outputs are built
+once per session at bench scale (500 taxis, 30 spots — per-spot volumes
+match the paper's Table 6, see the scale-down policy) and shared.
+
+Each bench prints a paper-vs-measured table and writes it to
+``benchmarks/results/<name>.txt`` so results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.stability import run_week
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.sim.city import City
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import simulate_day
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SEED = 7
+BENCH_FLEET = 500
+BENCH_SPOTS = 30
+BENCH_DECOYS = 15
+
+
+def bench_config(day_of_week: int = 0, **overrides) -> SimulationConfig:
+    """The canonical bench-scale simulation configuration."""
+    params = dict(
+        seed=BENCH_SEED,
+        fleet_size=BENCH_FLEET,
+        n_queue_spots=BENCH_SPOTS,
+        n_decoy_landmarks=BENCH_DECOYS,
+        day_of_week=day_of_week,
+        day_index=day_of_week,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def bench_city():
+    return City.generate(
+        seed=BENCH_SEED, n_queue_spots=BENCH_SPOTS, n_decoys=BENCH_DECOYS
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_day(bench_city):
+    """One simulated weekday at bench scale."""
+    return simulate_day(bench_config(day_of_week=0), city=bench_city)
+
+
+@pytest.fixture(scope="session")
+def bench_engine(bench_day):
+    city = bench_day.city
+    return QueueAnalyticEngine(
+        zones=city.zones,
+        projection=city.projection,
+        config=EngineConfig(
+            observed_fraction=bench_day.config.observed_fraction
+        ),
+        city_bbox=city.bbox,
+        inaccessible=city.water,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_detection(bench_engine, bench_day):
+    return bench_engine.detect_spots(bench_day.store)
+
+
+@pytest.fixture(scope="session")
+def bench_analyses(bench_engine, bench_day, bench_detection):
+    return bench_engine.disambiguate(
+        bench_day.store, bench_detection, bench_day.ground_truth.grid
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_week(bench_city):
+    """A full simulated week with tier-2 analyses (Fig. 8/9, Tables 5/6)."""
+    return run_week(
+        bench_config(), city=bench_city, disambiguate=True
+    )
+
+
+def emit(name: str, lines) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Taxi Queue, Passenger Queue or No Queue?"
+(Lu, Xiang, Wu — EDBT 2015).
+
+A queue detection and analysis system over event-driven taxi MDT logs,
+plus the full substrate needed to evaluate it offline: a city/fleet
+simulator, geospatial and clustering primitives, log storage and cleaning,
+and the evaluation harness reproducing every table and figure of the
+paper's section 6.
+
+Quickstart::
+
+    from repro import (
+        SimulationConfig, simulate_day,
+        QueueAnalyticEngine, EngineConfig,
+    )
+
+    out = simulate_day(SimulationConfig(fleet_size=400, n_queue_spots=25))
+    engine = QueueAnalyticEngine(
+        zones=out.city.zones,
+        projection=out.city.projection,
+        config=EngineConfig(observed_fraction=out.config.observed_fraction),
+        city_bbox=out.city.bbox,
+        inaccessible=out.city.water,
+    )
+    detection = engine.detect_spots(out.store)
+    analyses = engine.disambiguate(out.store, detection)
+"""
+
+from repro.core import (
+    EngineConfig,
+    QueueAnalyticEngine,
+    QueueSpot,
+    QueueType,
+    SlotFeatures,
+    SlotLabel,
+    SpotAnalysis,
+    SpotDetectionParams,
+    SpotDetectionResult,
+    TimeSlotGrid,
+)
+from repro.sim import City, SimulationConfig, SimulationOutput, simulate_day
+from repro.trace import MdtLogStore, MdtRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "QueueAnalyticEngine",
+    "QueueSpot",
+    "QueueType",
+    "SlotFeatures",
+    "SlotLabel",
+    "SpotAnalysis",
+    "SpotDetectionParams",
+    "SpotDetectionResult",
+    "TimeSlotGrid",
+    "City",
+    "SimulationConfig",
+    "SimulationOutput",
+    "simulate_day",
+    "MdtLogStore",
+    "MdtRecord",
+    "__version__",
+]

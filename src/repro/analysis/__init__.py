@@ -1,0 +1,81 @@
+"""Evaluation harness: the analyses behind every table/figure of section 6.
+
+* :mod:`repro.analysis.landmark_match` — Table 4 (landmarks near spots);
+* :mod:`repro.analysis.stability` — Fig. 8, Tables 5/6, Fig. 9 (multi-day
+  stability of spots and labels);
+* :mod:`repro.analysis.validation` — Table 8 (monitor counts and failed
+  bookings per label);
+* :mod:`repro.analysis.sample_case` — Table 9 (single-spot timeline);
+* :mod:`repro.analysis.accuracy` — scoring against simulator ground truth
+  (spot recall/location error, label confusion), which the paper could
+  not do and we can.
+"""
+
+from repro.analysis.landmark_match import (
+    LandmarkMatch,
+    match_spots_to_landmarks,
+    landmark_category_table,
+)
+from repro.analysis.stability import (
+    DayResult,
+    run_week,
+    zone_counts_by_day,
+    hausdorff_matrix,
+    pickup_counts_table,
+    weekly_type_proportions,
+)
+from repro.analysis.validation import (
+    SlotValidation,
+    validate_against_monitor_and_bookings,
+)
+from repro.analysis.sample_case import sample_case_timeline
+from repro.analysis.accuracy import (
+    SpotAccuracy,
+    spot_detection_accuracy,
+    LabelAccuracy,
+    label_accuracy,
+)
+from repro.analysis.insights import (
+    CherryPickEvent,
+    CherryPickReport,
+    find_busy_cherry_picks,
+    cherry_pick_report,
+)
+from repro.analysis.commuter import CommuterOption, recommend_for_commuter
+from repro.analysis.imbalance import (
+    ZoneImbalanceProfile,
+    StandProposal,
+    imbalance_index,
+    zone_imbalance_profiles,
+    propose_new_stands,
+)
+
+__all__ = [
+    "LandmarkMatch",
+    "match_spots_to_landmarks",
+    "landmark_category_table",
+    "DayResult",
+    "run_week",
+    "zone_counts_by_day",
+    "hausdorff_matrix",
+    "pickup_counts_table",
+    "weekly_type_proportions",
+    "SlotValidation",
+    "validate_against_monitor_and_bookings",
+    "sample_case_timeline",
+    "SpotAccuracy",
+    "spot_detection_accuracy",
+    "LabelAccuracy",
+    "label_accuracy",
+    "CherryPickEvent",
+    "CherryPickReport",
+    "find_busy_cherry_picks",
+    "cherry_pick_report",
+    "ZoneImbalanceProfile",
+    "StandProposal",
+    "CommuterOption",
+    "recommend_for_commuter",
+    "imbalance_index",
+    "zone_imbalance_profiles",
+    "propose_new_stands",
+]

@@ -1,0 +1,184 @@
+"""Supply/demand imbalance reporting — the government-stakeholder view.
+
+The paper's introduction names three consumers of the analytics; the
+third is "the government agencies [who] need such information to
+understand the imbalance between taxi supply and demand, and accordingly
+take necessary actions (e.g., increase operating taxis or adjust taxi
+fares)".  Section 9 adds working with the LTA to "set up new taxi stands
+at the busy queuing spots".
+
+This module turns per-slot labels into that report:
+
+* an *imbalance index* per slot-of-day: +1 means pure passenger queueing
+  (demand excess), -1 pure taxi queueing (supply excess), 0 balanced;
+* per-zone hourly profiles of the index (where and when to act);
+* a new-taxi-stand shortlist: detected spots with heavy queueing that sit
+  at no known stand-like landmark (the section-9 action item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueType
+from repro.geo.point import equirectangular_m
+from repro.sim.landmarks import Landmark
+
+#: Contribution of each label to the imbalance index.
+_LABEL_WEIGHT: Dict[QueueType, Optional[float]] = {
+    QueueType.C1: 0.0,     # both queue: busy but balanced
+    QueueType.C2: +1.0,    # passenger queue: demand excess
+    QueueType.C3: -1.0,    # taxi queue: supply excess
+    QueueType.C4: 0.0,     # idle: balanced
+    QueueType.UNIDENTIFIED: None,  # no evidence
+}
+
+
+def imbalance_index(labels: Iterable[QueueType]) -> Optional[float]:
+    """Mean demand-supply imbalance over a set of labels, in [-1, +1].
+
+    Returns None when no label carries evidence (all unidentified).
+    """
+    weights = [
+        _LABEL_WEIGHT[label]
+        for label in labels
+        if _LABEL_WEIGHT[label] is not None
+    ]
+    if not weights:
+        return None
+    return sum(weights) / len(weights)
+
+
+@dataclass
+class ZoneImbalanceProfile:
+    """Hourly imbalance profile of one zone."""
+
+    zone: str
+    hourly: List[Optional[float]]
+    """24 values in [-1, +1], None where no labelled evidence exists."""
+
+    @property
+    def peak_demand_hour(self) -> Optional[int]:
+        """Hour with the strongest passenger-side imbalance."""
+        best: Optional[int] = None
+        for hour, value in enumerate(self.hourly):
+            if value is None:
+                continue
+            if best is None or value > self.hourly[best]:
+                best = hour
+        return best
+
+    @property
+    def peak_supply_hour(self) -> Optional[int]:
+        """Hour with the strongest taxi-side imbalance."""
+        best: Optional[int] = None
+        for hour, value in enumerate(self.hourly):
+            if value is None:
+                continue
+            if best is None or value < self.hourly[best]:
+                best = hour
+        return best
+
+
+def zone_imbalance_profiles(
+    analyses: Iterable[SpotAnalysis],
+    slots_per_hour: int = 2,
+) -> Dict[str, ZoneImbalanceProfile]:
+    """Hourly imbalance index per zone from per-slot labels.
+
+    Args:
+        analyses: tier-2 output (slot index 0 = midnight).
+        slots_per_hour: slot-grid resolution (2 for 30-minute slots).
+    """
+    buckets: Dict[str, Dict[int, List[QueueType]]] = {}
+    for analysis in analyses:
+        zone = analysis.spot.zone
+        for slot_label in analysis.labels:
+            hour = (slot_label.slot // slots_per_hour) % 24
+            buckets.setdefault(zone, {}).setdefault(hour, []).append(
+                slot_label.label
+            )
+    profiles: Dict[str, ZoneImbalanceProfile] = {}
+    for zone, hours in buckets.items():
+        hourly = [
+            imbalance_index(hours.get(hour, [])) for hour in range(24)
+        ]
+        profiles[zone] = ZoneImbalanceProfile(zone=zone, hourly=hourly)
+    return profiles
+
+
+@dataclass(frozen=True)
+class StandProposal:
+    """A candidate location for a new official taxi stand (section 9)."""
+
+    spot_id: str
+    lon: float
+    lat: float
+    zone: str
+    queueing_slots: int
+    """Slots labelled C1/C2/C3 — sustained queueing either side."""
+
+    nearest_landmark: Optional[str]
+    nearest_landmark_m: float
+
+
+def propose_new_stands(
+    analyses: Iterable[SpotAnalysis],
+    landmarks: Sequence[Landmark],
+    stand_categories: Sequence = (),
+    min_queueing_slots: int = 10,
+    known_stand_radius_m: float = 60.0,
+) -> List[StandProposal]:
+    """Shortlist busy queueing spots lacking official infrastructure.
+
+    Args:
+        analyses: tier-2 output.
+        landmarks: the known facility inventory.
+        stand_categories: landmark categories considered to already have
+            stand infrastructure; a spot within ``known_stand_radius_m``
+            of one is excluded.  Empty means "exclude nothing by
+            category" (every landmark counts as infrastructure).
+        min_queueing_slots: minimum C1/C2/C3 slots to qualify.
+
+    Returns:
+        Proposals ordered by queueing intensity (busiest first).
+    """
+    proposals: List[StandProposal] = []
+    for analysis in analyses:
+        queueing = sum(
+            1
+            for slot_label in analysis.labels
+            if slot_label.label
+            in (QueueType.C1, QueueType.C2, QueueType.C3)
+        )
+        if queueing < min_queueing_slots:
+            continue
+        spot = analysis.spot
+        nearest: Optional[Landmark] = None
+        nearest_d = float("inf")
+        for lm in landmarks:
+            d = equirectangular_m(spot.lon, spot.lat, lm.lon, lm.lat)
+            if d < nearest_d:
+                nearest, nearest_d = lm, d
+        has_infrastructure = (
+            nearest is not None
+            and nearest_d <= known_stand_radius_m
+            and (not stand_categories or nearest.category in stand_categories)
+        )
+        if has_infrastructure:
+            continue
+        proposals.append(
+            StandProposal(
+                spot_id=spot.spot_id,
+                lon=spot.lon,
+                lat=spot.lat,
+                zone=spot.zone,
+                queueing_slots=queueing,
+                nearest_landmark=nearest.name if nearest else None,
+                nearest_landmark_m=nearest_d,
+            )
+        )
+    proposals.sort(key=lambda p: -p.queueing_slots)
+    return proposals

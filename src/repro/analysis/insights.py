@@ -1,0 +1,144 @@
+"""Driver-behaviour mining (paper section 7.2, "Interesting Findings").
+
+The paper reports that "during the time slots of C1 and C2, especially C2
+(namely only passenger queue), a number of taxis enter the queue spots
+with a BUSY state and then quickly leave with a POB state", i.e. drivers
+abuse BUSY to cherry-pick passengers while dodging the queue discipline.
+
+:func:`find_busy_cherry_picks` mines exactly that pattern from the logs;
+:func:`cherry_pick_report` cross-tabulates it with the QCD labels so the
+section-7.2 claim (the behaviour concentrates in passenger-queue slots)
+can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.geo.point import equirectangular_m
+from repro.states.states import TaxiState
+from repro.trace.log_store import MdtLogStore
+
+
+@dataclass(frozen=True)
+class CherryPickEvent:
+    """One BUSY -> POB pickup: a driver choosing their passenger.
+
+    Attributes:
+        taxi_id: the cherry-picking driver's vehicle.
+        ts: timestamp of the POB record.
+        lon, lat: where it happened (the BUSY dwell centroid).
+        dwell_s: how long the taxi sat in BUSY before picking up.
+    """
+
+    taxi_id: str
+    ts: float
+    lon: float
+    lat: float
+    dwell_s: float
+
+
+def find_busy_cherry_picks(
+    store: MdtLogStore,
+    min_dwell_s: float = 30.0,
+    max_dwell_s: float = 3600.0,
+) -> List[CherryPickEvent]:
+    """Mine BUSY -> POB pickup events from a log store.
+
+    A cherry-pick is a maximal run of BUSY records followed directly by a
+    POB record, with the BUSY dwell inside ``[min_dwell_s, max_dwell_s]``
+    (momentary BUSY blips and all-day personal breaks are excluded).
+    """
+    events: List[CherryPickEvent] = []
+    for trajectory in store.iter_trajectories():
+        records = trajectory.records
+        run_start: Optional[int] = None
+        for i, record in enumerate(records):
+            if record.state is TaxiState.BUSY:
+                if run_start is None:
+                    run_start = i
+                continue
+            if run_start is not None and record.state is TaxiState.POB:
+                busy_run = records[run_start:i]
+                dwell = busy_run[-1].ts - busy_run[0].ts
+                if min_dwell_s <= dwell <= max_dwell_s:
+                    lon = sum(r.lon for r in busy_run) / len(busy_run)
+                    lat = sum(r.lat for r in busy_run) / len(busy_run)
+                    events.append(
+                        CherryPickEvent(
+                            taxi_id=trajectory.taxi_id,
+                            ts=record.ts,
+                            lon=lon,
+                            lat=lat,
+                            dwell_s=dwell,
+                        )
+                    )
+            run_start = None
+    return events
+
+
+@dataclass
+class CherryPickReport:
+    """Cross-tabulation of cherry-picks against queue contexts."""
+
+    events_total: int
+    events_at_spots: int
+    by_label: Dict[QueueType, int]
+    per_label_rate: Dict[QueueType, float]
+    """Cherry-picks per labelled slot (normalises for label frequency)."""
+
+    repeat_offenders: List[str]
+    """Taxi ids with more than one cherry-pick at queue spots."""
+
+
+def cherry_pick_report(
+    events: Sequence[CherryPickEvent],
+    analyses: Iterable[SpotAnalysis],
+    grid: TimeSlotGrid,
+    spot_radius_m: float = 60.0,
+) -> CherryPickReport:
+    """Attribute cherry-picks to spots/slots and their QCD labels."""
+    analyses = list(analyses)
+    by_label: Dict[QueueType, int] = {qt: 0 for qt in QueueType}
+    slot_counts: Dict[QueueType, int] = {qt: 0 for qt in QueueType}
+    for analysis in analyses:
+        for slot_label in analysis.labels:
+            slot_counts[slot_label.label] += 1
+
+    offender_counts: Dict[str, int] = {}
+    at_spots = 0
+    for event in events:
+        best: Optional[SpotAnalysis] = None
+        best_d = spot_radius_m
+        for analysis in analyses:
+            d = equirectangular_m(
+                event.lon, event.lat, analysis.spot.lon, analysis.spot.lat
+            )
+            if d <= best_d:
+                best = analysis
+                best_d = d
+        if best is None:
+            continue
+        slot = grid.slot_of(event.ts)
+        if slot is None or slot >= len(best.labels):
+            continue
+        at_spots += 1
+        by_label[best.labels[slot].label] += 1
+        offender_counts[event.taxi_id] = offender_counts.get(event.taxi_id, 0) + 1
+
+    per_label_rate = {
+        qt: (by_label[qt] / slot_counts[qt]) if slot_counts[qt] else 0.0
+        for qt in QueueType
+    }
+    return CherryPickReport(
+        events_total=len(events),
+        events_at_spots=at_spots,
+        by_label=by_label,
+        per_label_rate=per_label_rate,
+        repeat_offenders=sorted(
+            taxi for taxi, n in offender_counts.items() if n > 1
+        ),
+    )

@@ -1,0 +1,62 @@
+"""The single-spot sample case (paper Table 9: Lucky Plaza on a Sunday).
+
+Section 6.2.3 walks one mall queue spot through a Sunday: C1 just after
+midnight (night-club crowd), C3 as the leftover taxi queue drains, C4
+until morning, C1/C2 alternation through the shopping peak, and C4 again
+late in the evening.  :func:`sample_case_timeline` produces that
+presentation for any analysed spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.reports import merge_labels
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.geo.point import equirectangular_m
+from repro.sim.landmarks import LandmarkCategory
+
+
+def sample_case_timeline(
+    analysis: SpotAnalysis, grid: TimeSlotGrid
+) -> Dict[str, List[str]]:
+    """Group the spot's day into per-type time ranges (Table 9 layout).
+
+    Returns:
+        ``queue type -> list of "HH:MM-HH:MM" ranges``, covering the whole
+        day; every queue type (including Unidentified) is present as a
+        key, possibly with an empty list.
+    """
+    table: Dict[str, List[str]] = {qt.value: [] for qt in QueueType}
+    for span in merge_labels(analysis.labels):
+        table[span.label.value].append(span.time_range(grid))
+    return table
+
+
+def pick_mall_spot(
+    analyses: Sequence[SpotAnalysis], city
+) -> Optional[SpotAnalysis]:
+    """The busiest analysed spot anchored at a mall/hotel landmark.
+
+    The Lucky-Plaza analogue: among spots whose nearest landmark is a
+    shopping mall, pick the one with the most pickups.
+    """
+    candidates = []
+    for analysis in analyses:
+        spot = analysis.spot
+        lm = min(
+            city.landmarks,
+            key=lambda m: equirectangular_m(m.lon, m.lat, spot.lon, spot.lat),
+            default=None,
+        )
+        if lm is None:
+            continue
+        if (
+            lm.category is LandmarkCategory.MALL_HOTEL
+            and equirectangular_m(lm.lon, lm.lat, spot.lon, spot.lat) < 60.0
+        ):
+            candidates.append(analysis)
+    if not candidates:
+        return None
+    return max(candidates, key=lambda a: a.spot.pickup_count)

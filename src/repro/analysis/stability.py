@@ -1,0 +1,172 @@
+"""Multi-day stability analyses (paper Fig. 8, Tables 5/6, Fig. 9).
+
+Runs the simulate -> detect -> disambiguate pipeline for each day of the
+week and derives:
+
+* per-zone detected spot counts per day (Fig. 8);
+* the modified-Hausdorff distance matrix between daily spot sets
+  (Table 5);
+* average pickup sub-trajectory counts per spot per zone (Table 6);
+* queue-type proportions per day of week (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, QueueAnalyticEngine, SpotAnalysis
+from repro.core.reports import citywide_proportions
+from repro.core.spots import SpotDetectionResult
+from repro.core.types import QueueType
+from repro.geo.hausdorff import modified_hausdorff
+from repro.sim.city import City
+from repro.sim.config import DAY_NAMES, SimulationConfig
+from repro.sim.fleet import SimulationOutput, simulate_day
+
+
+@dataclass
+class DayResult:
+    """Pipeline output for one simulated day."""
+
+    day_of_week: int
+    output: SimulationOutput
+    detection: SpotDetectionResult
+    analyses: Optional[Dict[str, SpotAnalysis]] = None
+
+    @property
+    def day_name(self) -> str:
+        """Mon..Sun."""
+        return DAY_NAMES[self.day_of_week]
+
+
+def run_week(
+    base_config: SimulationConfig,
+    city: Optional[City] = None,
+    engine_config: Optional[EngineConfig] = None,
+    disambiguate: bool = False,
+    days: Sequence[int] = tuple(range(7)),
+) -> List[DayResult]:
+    """Run the full pipeline for each requested day of week.
+
+    The same city is reused across days (the geography does not change;
+    only demand profiles do), matching the paper's week-long study.
+
+    Args:
+        base_config: configuration template; ``day_of_week``/``day_index``
+            are overridden per day.
+        city: optional pre-built city (built from the config otherwise).
+        engine_config: engine configuration (defaults derived from the
+            simulation's observed fraction).
+        disambiguate: also run tier 2 per day (needed for Fig. 9).
+        days: which days of week to simulate (0=Mon..6=Sun).
+    """
+    from dataclasses import replace
+
+    city = city or City.generate(
+        seed=base_config.seed,
+        n_queue_spots=base_config.n_queue_spots,
+        n_decoys=base_config.n_decoy_landmarks,
+    )
+    results: List[DayResult] = []
+    for day in days:
+        config = replace(base_config, day_of_week=day, day_index=day)
+        output = simulate_day(config, city=city)
+        ecfg = engine_config or EngineConfig(
+            observed_fraction=config.observed_fraction
+        )
+        engine = QueueAnalyticEngine(
+            zones=city.zones,
+            projection=city.projection,
+            config=ecfg,
+            city_bbox=city.bbox,
+            inaccessible=city.water,
+        )
+        detection = engine.detect_spots(output.store)
+        analyses = (
+            engine.disambiguate(output.store, detection, output.ground_truth.grid)
+            if disambiguate
+            else None
+        )
+        results.append(DayResult(day, output, detection, analyses))
+    return results
+
+
+def zone_counts_by_day(results: Sequence[DayResult]) -> Dict[str, List[int]]:
+    """Detected spot count per zone per day (Fig. 8 series)."""
+    zones = sorted(
+        {zone for r in results for zone in r.detection.per_zone_counts}
+    )
+    return {
+        zone: [r.detection.per_zone_counts.get(zone, 0) for r in results]
+        for zone in zones
+    }
+
+
+def hausdorff_matrix(results: Sequence[DayResult]) -> np.ndarray:
+    """Pairwise modified-Hausdorff distances between daily spot sets
+    (Table 5), in metres.
+    """
+    n = len(results)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    projections = [r.output.city.projection for r in results]
+    xy_sets = []
+    for r, proj in zip(results, projections):
+        lons = np.asarray([s.lon for s in r.detection.spots])
+        lats = np.asarray([s.lat for s in r.detection.spots])
+        xy_sets.append(proj.to_xy_array(lons, lats))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = modified_hausdorff(xy_sets[i], xy_sets[j])
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix
+
+
+def pickup_counts_table(
+    results: Sequence[DayResult],
+) -> Dict[str, Dict[str, float]]:
+    """Average pickup-event count per detected spot per zone (Table 6).
+
+    Returns ``{"Working Day"/"Weekend Day": {zone: avg_count}}``.
+    """
+    groups = {
+        "Working Day": [r for r in results if r.day_of_week <= 4],
+        "Weekend Day": [r for r in results if r.day_of_week >= 5],
+    }
+    table: Dict[str, Dict[str, float]] = {}
+    for name, days in groups.items():
+        if not days:
+            continue
+        zone_sums: Dict[str, float] = {}
+        zone_spots: Dict[str, int] = {}
+        for r in days:
+            for spot in r.detection.spots:
+                zone_sums[spot.zone] = (
+                    zone_sums.get(spot.zone, 0.0) + spot.pickup_count
+                )
+                zone_spots[spot.zone] = zone_spots.get(spot.zone, 0) + 1
+        table[name] = {
+            zone: zone_sums[zone] / zone_spots[zone] for zone in zone_sums
+        }
+    return table
+
+
+def weekly_type_proportions(
+    results: Sequence[DayResult],
+) -> Dict[str, Dict[QueueType, float]]:
+    """Queue-type proportions per day (Fig. 9 series).
+
+    Requires the results to have been produced with ``disambiguate=True``.
+
+    Raises:
+        ValueError: when a day lacks tier-2 analyses.
+    """
+    series: Dict[str, Dict[QueueType, float]] = {}
+    for r in results:
+        if r.analyses is None:
+            raise ValueError(f"day {r.day_name} has no tier-2 analyses")
+        series[r.day_name] = citywide_proportions(r.analyses.values())
+    return series

@@ -1,0 +1,116 @@
+"""Label validation with external signals (paper Table 8).
+
+Section 6.2.2 validates the queue-type labels against two independent
+sources: the average taxi count from a vehicle monitor system, and failed
+taxi bookings from the operator backend.  The expected ordering:
+
+* monitored taxi count: C1 and C3 notably higher than C2 and C4 (taxi
+  queues really hold taxis);
+* failed bookings: C2 significantly higher than all others (passengers
+  who cannot get a taxi book — and the booking fails too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.geo.point import equirectangular_m
+from repro.sim.fleet import FailedBooking
+from repro.sim.monitor import MonitorReading
+
+
+@dataclass
+class SlotValidation:
+    """Average external signals per queue-type label (Table 8 rows)."""
+
+    avg_taxi_count: Dict[QueueType, float]
+    avg_failed_bookings: Dict[QueueType, float]
+    slots_per_label: Dict[QueueType, int]
+
+
+def validate_against_monitor_and_bookings(
+    analyses: Iterable[SpotAnalysis],
+    readings: Sequence[MonitorReading],
+    failed_bookings: Sequence[FailedBooking],
+    grid: TimeSlotGrid,
+    spot_locations: Dict[str, tuple],
+    booking_radius_m: float = 1000.0,
+) -> SlotValidation:
+    """Build the Table 8 comparison.
+
+    Args:
+        analyses: tier-2 output per spot.
+        readings: monitor samples, keyed by ground-truth spot id.
+        failed_bookings: failed booking events with locations.
+        grid: the time-slot grid labels refer to.
+        spot_locations: ground-truth ``spot_id -> (lon, lat)`` used to
+            join monitor readings and bookings to detected spots.
+        booking_radius_m: a failed booking belongs to the nearest spot
+            within this distance (the paper's dispatch circle radius).
+    """
+    analyses = list(analyses)
+    # Join each detected spot to the nearest monitored (ground-truth) spot.
+    monitor_by_spot: Dict[str, List[MonitorReading]] = {}
+    for reading in readings:
+        monitor_by_spot.setdefault(reading.spot_id, []).append(reading)
+
+    def nearest_truth_spot(lon: float, lat: float):
+        best_id, best_d = None, float("inf")
+        for spot_id, (slon, slat) in spot_locations.items():
+            d = equirectangular_m(lon, lat, slon, slat)
+            if d < best_d:
+                best_id, best_d = spot_id, d
+        return best_id, best_d
+
+    # Failed bookings per (truth spot, slot).
+    failures: Dict[str, Dict[int, int]] = {}
+    for booking in failed_bookings:
+        spot_id, d = nearest_truth_spot(booking.lon, booking.lat)
+        if spot_id is None or d > booking_radius_m:
+            continue
+        slot = grid.slot_of(booking.ts)
+        if slot is None:
+            continue
+        failures.setdefault(spot_id, {})
+        failures[spot_id][slot] = failures[spot_id].get(slot, 0) + 1
+
+    taxi_sums: Dict[QueueType, float] = {qt: 0.0 for qt in QueueType}
+    fail_sums: Dict[QueueType, float] = {qt: 0.0 for qt in QueueType}
+    counts: Dict[QueueType, int] = {qt: 0 for qt in QueueType}
+
+    for analysis in analyses:
+        spot = analysis.spot
+        truth_id, d = nearest_truth_spot(spot.lon, spot.lat)
+        if truth_id is None or d > 100.0:
+            continue
+        spot_readings = monitor_by_spot.get(truth_id, [])
+        per_slot_counts: Dict[int, List[int]] = {}
+        for reading in spot_readings:
+            slot = grid.slot_of(reading.ts)
+            if slot is not None:
+                per_slot_counts.setdefault(slot, []).append(reading.taxi_count)
+        spot_failures = failures.get(truth_id, {})
+        for slot_label in analysis.labels:
+            label = slot_label.label
+            samples = per_slot_counts.get(slot_label.slot, [])
+            avg_count = sum(samples) / len(samples) if samples else 0.0
+            taxi_sums[label] += avg_count
+            fail_sums[label] += spot_failures.get(slot_label.slot, 0)
+            counts[label] += 1
+
+    avg_taxi = {
+        qt: (taxi_sums[qt] / counts[qt]) if counts[qt] else 0.0
+        for qt in QueueType
+    }
+    avg_fail = {
+        qt: (fail_sums[qt] / counts[qt]) if counts[qt] else 0.0
+        for qt in QueueType
+    }
+    return SlotValidation(
+        avg_taxi_count=avg_taxi,
+        avg_failed_bookings=avg_fail,
+        slots_per_label=counts,
+    )

@@ -1,0 +1,273 @@
+"""Command-line interface: ``taxiqueue`` (or ``python -m repro``).
+
+Subcommands mirror the deployed system's workflow (paper section 7.1):
+
+* ``simulate`` — generate a day of MDT logs (CSV) plus side files;
+* ``detect``  — tier 1: queue spot detection from a log CSV;
+* ``analyze`` — tiers 1+2: detection plus queue context labels;
+* ``export``  — tiers 1+2 plus frontend artefacts (GeoJSON, CSV, HTML);
+* ``demo``    — a quick end-to-end run on a small simulated day.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.core.reports import (
+    citywide_proportions,
+    format_proportions,
+    format_transition_report,
+)
+from repro.core.types import TimeSlotGrid
+from repro.geo.bbox import BBox
+from repro.geo.zones import four_zone_partition
+from repro.geo.point import LocalProjection
+from repro.sim.city import DEFAULT_CITY_BBOX, City
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import simulate_day
+from repro.trace.log_store import MdtLogStore
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    parser.add_argument(
+        "--scenario", default=None,
+        help="named scenario preset (see repro.sim.scenarios); overrides "
+             "--fleet/--spots/--day defaults",
+    )
+    parser.add_argument(
+        "--fleet", type=int, default=600, help="number of simulated taxis"
+    )
+    parser.add_argument(
+        "--spots", type=int, default=30, help="ground-truth queue spots"
+    )
+    parser.add_argument(
+        "--day", type=int, default=0, help="day of week (0=Mon .. 6=Sun)"
+    )
+
+
+def _build_config(args: argparse.Namespace) -> SimulationConfig:
+    if getattr(args, "scenario", None):
+        from repro.sim.scenarios import build_scenario
+
+        return build_scenario(args.scenario, seed=args.seed)
+    return SimulationConfig(
+        seed=args.seed,
+        fleet_size=args.fleet,
+        n_queue_spots=args.spots,
+        day_of_week=args.day,
+    )
+
+
+def _engine_for_bbox(
+    bbox: BBox, observed_fraction: float
+) -> QueueAnalyticEngine:
+    zones = four_zone_partition(bbox)
+    lon, lat = bbox.center
+    return QueueAnalyticEngine(
+        zones=zones,
+        projection=LocalProjection(lon, lat),
+        config=EngineConfig(observed_fraction=observed_fraction),
+        city_bbox=bbox,
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    output = simulate_day(config)
+    out_path = Path(args.output)
+    output.store.to_csv(out_path)
+    meta = {
+        "records": len(output.store),
+        "taxis_observed": output.store.taxi_count,
+        "counters": output.counters,
+        "failed_bookings": len(output.failed_bookings),
+        "bbox": [
+            output.city.bbox.west,
+            output.city.bbox.south,
+            output.city.bbox.east,
+            output.city.bbox.north,
+        ],
+    }
+    meta_path = out_path.with_suffix(".meta.json")
+    meta_path.write_text(json.dumps(meta, indent=2))
+    print(f"wrote {meta['records']} records to {out_path}")
+    print(f"wrote metadata to {meta_path}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    store = MdtLogStore.from_csv(args.input)
+    bbox = _bbox_from_args(args, store)
+    engine = _engine_for_bbox(bbox, args.coverage)
+    detection = engine.detect_spots(store)
+    print(f"detected {len(detection.spots)} queue spots "
+          f"({detection.noise_count} noise pickup events)")
+    for spot in detection.spots[: args.top]:
+        print(
+            f"  {spot.spot_id}  ({spot.lon:.5f}, {spot.lat:.5f})  "
+            f"zone={spot.zone}  pickups={spot.pickup_count}"
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    store = MdtLogStore.from_csv(args.input)
+    bbox = _bbox_from_args(args, store)
+    engine = _engine_for_bbox(bbox, args.coverage)
+    detection = engine.detect_spots(store)
+    analyses = engine.disambiguate(store, detection)
+    print(format_proportions(citywide_proportions(analyses.values())))
+    if args.spot:
+        analysis = analyses.get(args.spot)
+        if analysis is None:
+            print(f"unknown spot id {args.spot!r}", file=sys.stderr)
+            return 1
+        lo, _ = store.time_span
+        grid = TimeSlotGrid.for_day(lo - (lo % 86400.0))
+        print()
+        print(format_transition_report(analysis, grid))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.export.csv_report import (
+        write_features_csv,
+        write_labels_csv,
+        write_spots_csv,
+    )
+    from repro.export.geojson import dump_geojson, labels_to_geojson, spots_to_geojson
+    from repro.export.html_report import write_html_report
+
+    store = MdtLogStore.from_csv(args.input)
+    bbox = _bbox_from_args(args, store)
+    engine = _engine_for_bbox(bbox, args.coverage)
+    detection = engine.detect_spots(store)
+    analyses = engine.disambiguate(store, detection)
+    lo, _ = store.time_span
+    grid = TimeSlotGrid.for_day(lo - (lo % 86400.0))
+
+    out_dir = Path(args.outdir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dump_geojson(spots_to_geojson(detection.spots), out_dir / "spots.geojson")
+    dump_geojson(
+        labels_to_geojson(analyses.values(), grid), out_dir / "labels.geojson"
+    )
+    write_spots_csv(detection.spots, out_dir / "spots.csv")
+    write_labels_csv(analyses.values(), grid, out_dir / "labels.csv")
+    write_features_csv(analyses.values(), grid, out_dir / "features.csv")
+    write_html_report(analyses.values(), grid, out_dir / "report.html")
+    print(f"exported {len(detection.spots)} spots to {out_dir}/")
+    for name in (
+        "spots.geojson", "labels.geojson", "spots.csv", "labels.csv",
+        "features.csv", "report.html",
+    ):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        seed=args.seed, fleet_size=300, n_queue_spots=15, n_decoy_landmarks=8
+    )
+    print("simulating a small city day ...")
+    output = simulate_day(config)
+    print(f"  {len(output.store)} MDT records from "
+          f"{output.store.taxi_count} observed taxis")
+    city = output.city
+    engine = QueueAnalyticEngine(
+        zones=city.zones,
+        projection=city.projection,
+        config=EngineConfig(observed_fraction=config.observed_fraction),
+        city_bbox=city.bbox,
+        inaccessible=city.water,
+    )
+    detection = engine.detect_spots(output.store)
+    print(f"  detected {len(detection.spots)} queue spots")
+    analyses = engine.disambiguate(
+        output.store, detection, output.ground_truth.grid
+    )
+    print()
+    print(format_proportions(citywide_proportions(analyses.values())))
+    if detection.spots:
+        busiest = detection.spots[0].spot_id
+        print()
+        print(format_transition_report(
+            analyses[busiest], output.ground_truth.grid
+        ))
+    return 0
+
+
+def _bbox_from_args(args: argparse.Namespace, store: MdtLogStore) -> BBox:
+    if args.bbox:
+        west, south, east, north = (float(x) for x in args.bbox.split(","))
+        return BBox(west, south, east, north)
+    try:
+        return BBox.from_points(
+            (r.lon, r.lat) for r in store.iter_records()
+        ).expanded(0.01)
+    except ValueError:
+        return DEFAULT_CITY_BBOX
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="taxiqueue",
+        description="Queue detection and analysis from taxi MDT logs "
+        "(EDBT 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a simulated day of MDT logs")
+    _add_sim_args(p_sim)
+    p_sim.add_argument("--output", default="mdt_logs.csv", help="CSV output path")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_det = sub.add_parser("detect", help="detect queue spots from a log CSV")
+    p_det.add_argument("input", help="MDT log CSV")
+    p_det.add_argument("--coverage", type=float, default=1.0,
+                       help="observed fleet fraction (default 1.0)")
+    p_det.add_argument("--bbox", default=None,
+                       help="city bbox 'west,south,east,north'")
+    p_det.add_argument("--top", type=int, default=20,
+                       help="how many spots to print")
+    p_det.set_defaults(func=cmd_detect)
+
+    p_ana = sub.add_parser("analyze", help="detect spots and label queue contexts")
+    p_ana.add_argument("input", help="MDT log CSV")
+    p_ana.add_argument("--coverage", type=float, default=1.0)
+    p_ana.add_argument("--bbox", default=None)
+    p_ana.add_argument("--spot", default=None,
+                       help="print the transition report of one spot id")
+    p_ana.set_defaults(func=cmd_analyze)
+
+    p_exp = sub.add_parser(
+        "export", help="analyze and write GeoJSON/CSV/HTML artefacts"
+    )
+    p_exp.add_argument("input", help="MDT log CSV")
+    p_exp.add_argument("--coverage", type=float, default=1.0)
+    p_exp.add_argument("--bbox", default=None)
+    p_exp.add_argument("--outdir", default="queue_report",
+                       help="output directory for the artefacts")
+    p_exp.set_defaults(func=cmd_export)
+
+    p_demo = sub.add_parser("demo", help="small end-to-end demonstration")
+    p_demo.add_argument("--seed", type=int, default=7)
+    p_demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Clustering substrate: DBSCAN with pluggable spatial-index backends.
+
+Section 4.3 clusters pickup-event centroids with DBSCAN [Ester et al. 1996]
+and recommends an R-tree or grid spatial index to avoid the naive O(n^2)
+neighbourhood cost.  This package provides a faithful from-scratch DBSCAN
+(:mod:`repro.cluster.dbscan`) whose neighbour queries are served by one of
+three interchangeable backends (:mod:`repro.cluster.neighbors`), plus
+cluster centroiding (:mod:`repro.cluster.centroids`).
+"""
+
+from repro.cluster.neighbors import (
+    NOISE,
+    UNCLASSIFIED,
+    BruteForceNeighbors,
+    GridNeighbors,
+    RTreeNeighbors,
+    make_neighbors,
+)
+from repro.cluster.dbscan import dbscan, DbscanResult
+from repro.cluster.centroids import cluster_centroids, ClusterSummary
+from repro.cluster.optics import optics, OpticsResult
+
+__all__ = [
+    "NOISE",
+    "UNCLASSIFIED",
+    "BruteForceNeighbors",
+    "GridNeighbors",
+    "RTreeNeighbors",
+    "make_neighbors",
+    "dbscan",
+    "DbscanResult",
+    "cluster_centroids",
+    "ClusterSummary",
+    "optics",
+    "OpticsResult",
+]

@@ -1,0 +1,57 @@
+"""Cluster centroiding: from DBSCAN labels to queue-spot candidates.
+
+Section 4.3: "We then compute the centroid of all the found clusters, and
+each centroid is the detected taxi queue spot."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cluster.dbscan import DbscanResult
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Centroid and size of one cluster in the metre plane."""
+
+    cluster_id: int
+    x: float
+    y: float
+    size: int
+    radius_m: float
+    """Root-mean-square distance of member points from the centroid."""
+
+
+def cluster_centroids(
+    points: np.ndarray, result: DbscanResult
+) -> List[ClusterSummary]:
+    """Summarize every cluster of a DBSCAN result.
+
+    Args:
+        points: the ``(n, 2)`` array that was clustered.
+        result: the DBSCAN output over those points.
+
+    Returns:
+        One :class:`ClusterSummary` per cluster, ordered by cluster id.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    summaries: List[ClusterSummary] = []
+    for cid in range(result.n_clusters):
+        members = points[result.labels == cid]
+        centroid = members.mean(axis=0)
+        spread = members - centroid
+        rms = float(np.sqrt(np.einsum("ij,ij->i", spread, spread).mean()))
+        summaries.append(
+            ClusterSummary(
+                cluster_id=cid,
+                x=float(centroid[0]),
+                y=float(centroid[1]),
+                size=len(members),
+                radius_m=rms,
+            )
+        )
+    return summaries

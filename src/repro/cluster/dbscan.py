@@ -1,0 +1,121 @@
+"""DBSCAN, implemented from scratch (Ester et al., KDD 1996).
+
+The classic density-based clustering used in paper section 4.3 to turn the
+set of pickup-event centroids into queue-spot clusters:
+
+* a point with at least ``min_pts`` neighbours within ``eps`` is a *core*
+  point;
+* clusters are the connected components of core points under the
+  eps-neighbourhood relation, plus the border points they reach;
+* everything else is noise.
+
+Neighbour queries go through a pluggable backend (grid index by default;
+see :mod:`repro.cluster.neighbors`), matching the paper's advice to use a
+grid or R-tree spatial index instead of the naive O(n^2) scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cluster.neighbors import NOISE, UNCLASSIFIED, GridNeighbors, NeighborsFactory
+
+
+@dataclass
+class DbscanResult:
+    """Outcome of a DBSCAN run.
+
+    Attributes:
+        labels: per-point cluster id (0..n_clusters-1) or ``NOISE`` (-1).
+        n_clusters: number of clusters found.
+        core_mask: boolean array marking core points.
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    core_mask: np.ndarray
+
+    def cluster_indices(self, cluster_id: int) -> np.ndarray:
+        """Indices of the points belonging to one cluster."""
+        return np.flatnonzero(self.labels == cluster_id)
+
+    def noise_indices(self) -> np.ndarray:
+        """Indices of the noise points."""
+        return np.flatnonzero(self.labels == NOISE)
+
+
+def dbscan(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    neighbors_factory: NeighborsFactory = GridNeighbors,
+) -> DbscanResult:
+    """Cluster an ``(n, 2)`` metre-plane point array with DBSCAN.
+
+    Args:
+        points: point coordinates; eps is measured in the same unit.
+        eps: neighbourhood radius (``eps_d``; the paper settles on 15 m).
+        min_pts: minimum neighbourhood size for a core point (``p_d``; the
+            paper settles on 50 for a full-fleet day).
+        neighbors_factory: backend constructor ``(points, eps) -> index``.
+
+    Returns:
+        A :class:`DbscanResult` with labels, cluster count and core mask.
+
+    Raises:
+        ValueError: for non-positive ``eps`` or ``min_pts``.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if min_pts <= 0:
+        raise ValueError("min_pts must be positive")
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    labels = np.full(n, UNCLASSIFIED, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return DbscanResult(labels, 0, core_mask)
+
+    index = neighbors_factory(points, eps)
+    cluster_id = 0
+    for i in range(n):
+        if labels[i] != UNCLASSIFIED:
+            continue
+        seeds = index.query_radius_index(i, eps)
+        if len(seeds) < min_pts:
+            labels[i] = NOISE
+            continue
+        # i is a core point: grow a new cluster from it (BFS expansion).
+        core_mask[i] = True
+        labels[i] = cluster_id
+        queue = deque(int(s) for s in seeds if labels[s] in (UNCLASSIFIED, NOISE))
+        for s in seeds:
+            if labels[s] in (UNCLASSIFIED, NOISE):
+                labels[s] = cluster_id
+        while queue:
+            j = queue.popleft()
+            neighborhood = index.query_radius_index(j, eps)
+            if len(neighborhood) < min_pts:
+                continue  # border point: belongs to the cluster, not grown
+            core_mask[j] = True
+            for k in neighborhood:
+                k = int(k)
+                if labels[k] == UNCLASSIFIED:
+                    labels[k] = cluster_id
+                    queue.append(k)
+                elif labels[k] == NOISE:
+                    labels[k] = cluster_id  # noise becomes a border point
+        cluster_id += 1
+    return DbscanResult(labels, cluster_id, core_mask)
+
+
+def cluster_sizes(result: DbscanResult) -> List[int]:
+    """Sizes of the clusters, ordered by cluster id."""
+    return [
+        int(np.count_nonzero(result.labels == cid))
+        for cid in range(result.n_clusters)
+    ]

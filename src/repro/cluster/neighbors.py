@@ -1,0 +1,86 @@
+"""Neighbour-query backends for DBSCAN.
+
+All backends expose the same interface: ``query_radius_index(i, radius)``
+returns the indices of points within ``radius`` of point ``i`` (including
+``i`` itself).  Three implementations are provided:
+
+* :class:`BruteForceNeighbors` — O(n) per query, the reference baseline
+  (and the configuration the paper calls "significantly slow").
+* :class:`GridNeighbors` — uniform grid, expected O(1) per query.
+* :class:`RTreeNeighbors` — STR-packed R-tree.
+
+The ablation bench ``bench_ablation_index`` compares the three.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.geo.grid_index import GridIndex
+from repro.geo.rtree import StrRTree
+
+#: DBSCAN label for noise points.
+NOISE = -1
+#: DBSCAN label for points not yet visited (internal).
+UNCLASSIFIED = -2
+
+
+class BruteForceNeighbors:
+    """Reference backend: scans every point for each query."""
+
+    def __init__(self, points: np.ndarray, radius: float):
+        self.points = np.asarray(points, dtype=np.float64)
+        self.radius = float(radius)
+
+    def query_radius_index(self, i: int, radius: float) -> np.ndarray:
+        """All indices within ``radius`` of point ``i`` (self included)."""
+        diff = self.points - self.points[i]
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        return np.flatnonzero(d2 <= radius * radius).astype(np.int64)
+
+
+class GridNeighbors:
+    """Grid-index backend; cell size defaults to the query radius."""
+
+    def __init__(self, points: np.ndarray, radius: float):
+        self._index = GridIndex(points, cell_size=radius)
+
+    def query_radius_index(self, i: int, radius: float) -> np.ndarray:
+        return self._index.query_radius_index(i, radius)
+
+
+class RTreeNeighbors:
+    """STR R-tree backend."""
+
+    def __init__(self, points: np.ndarray, radius: float):
+        self._index = StrRTree(points)
+
+    def query_radius_index(self, i: int, radius: float) -> np.ndarray:
+        return self._index.query_radius_index(i, radius)
+
+
+#: Factory signature: ``(points, radius) -> backend``.
+NeighborsFactory = Callable[[np.ndarray, float], object]
+
+_BACKENDS = {
+    "brute": BruteForceNeighbors,
+    "grid": GridNeighbors,
+    "rtree": RTreeNeighbors,
+}
+
+
+def make_neighbors(name: str) -> NeighborsFactory:
+    """Look a backend factory up by name (``brute``, ``grid``, ``rtree``).
+
+    Raises:
+        KeyError: for an unknown backend name.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown neighbour backend {name!r}; "
+            f"choose from {sorted(_BACKENDS)}"
+        ) from None

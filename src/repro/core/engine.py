@@ -1,0 +1,249 @@
+"""The two-tier Queue Analytic Engine (paper section 3, Fig. 4).
+
+Ties the pieces together the way the deployed system does (section 7.1):
+
+* **tier 1** (:meth:`QueueAnalyticEngine.detect_spots`) runs on the
+  long-term dataset — preprocessing, PEA, per-zone DBSCAN — and yields the
+  queue spots;
+* **tier 2** (:meth:`QueueAnalyticEngine.disambiguate`) runs on a
+  short-term dataset — W(r) assembly, WTE, 5-tuple features, threshold
+  derivation, QCD — and yields per-slot context labels for each spot.
+
+The engine is substrate-agnostic: it consumes any
+:class:`~repro.trace.log_store.MdtLogStore`, whether simulated or loaded
+from CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.features import AmplificationPolicy, compute_slot_features
+from repro.core.qcd import disambiguate
+from repro.core.spots import (
+    SpotDetectionParams,
+    SpotDetectionResult,
+    assign_events_to_spots,
+    detect_queue_spots,
+)
+from repro.core.thresholds import (
+    QcdThresholds,
+    ThresholdPolicy,
+    derive_thresholds,
+    derive_thresholds_from_features,
+    zone_street_job_ratio,
+)
+from repro.core.types import QueueSpot, SlotFeatures, SlotLabel, TimeSlotGrid
+from repro.core.wte import WaitEvent, extract_wait_times
+from repro.geo.bbox import BBox
+from repro.geo.point import LocalProjection
+from repro.geo.zones import ZonePartition
+from repro.trace.cleaning import CleaningReport, clean_store
+from repro.trace.log_store import MdtLogStore
+
+
+@dataclass
+class SpotAnalysis:
+    """Tier-2 output for one queue spot."""
+
+    spot: QueueSpot
+    wait_events: List[WaitEvent]
+    features: List[SlotFeatures]
+    labels: List[SlotLabel]
+    thresholds: Optional[QcdThresholds]
+
+    def label_of(self, slot: int) -> SlotLabel:
+        """The label of one slot.
+
+        Raises:
+            IndexError: for an out-of-range slot.
+        """
+        return self.labels[slot]
+
+
+@dataclass
+class EngineConfig:
+    """Engine-wide configuration."""
+
+    detection: SpotDetectionParams = field(default_factory=SpotDetectionParams)
+    thresholds: ThresholdPolicy = field(default_factory=ThresholdPolicy)
+    slot_seconds: float = 1800.0
+    assign_radius_m: float = 30.0
+    observed_fraction: float = 1.0
+    """Fraction of the fleet the logs cover; <1 turns on the section-6.2.1
+    amplification."""
+
+    clean_inputs: bool = True
+    """Run the section-6.1.1 preprocessing before each tier."""
+
+
+class QueueAnalyticEngine:
+    """The deployable queue detection and analysis engine.
+
+    Args:
+        zones: Fig. 5 zone partition of the city.
+        projection: lon/lat -> metre projection for the city.
+        config: engine configuration.
+        city_bbox: optional city rectangle for GPS-error cleaning.
+        inaccessible: optional inaccessible rectangles (water) for
+            GPS-error cleaning.
+    """
+
+    def __init__(
+        self,
+        zones: ZonePartition,
+        projection: LocalProjection,
+        config: Optional[EngineConfig] = None,
+        city_bbox: Optional[BBox] = None,
+        inaccessible: Optional[List[BBox]] = None,
+    ):
+        self.zones = zones
+        self.projection = projection
+        self.config = config or EngineConfig()
+        self.city_bbox = city_bbox
+        self.inaccessible = list(inaccessible or [])
+        self.last_cleaning_report: Optional[CleaningReport] = None
+
+    # -- shared -----------------------------------------------------------------
+
+    def preprocess(self, store: MdtLogStore) -> MdtLogStore:
+        """Section-6.1.1 cleaning (no-op when ``clean_inputs`` is False)."""
+        if not self.config.clean_inputs:
+            return store
+        cleaned, report = clean_store(
+            store, city_bbox=self.city_bbox, inaccessible=self.inaccessible
+        )
+        self.last_cleaning_report = report
+        return cleaned
+
+    @property
+    def amplification(self) -> AmplificationPolicy:
+        """The observed-fraction correction policy."""
+        return AmplificationPolicy.for_coverage(self.config.observed_fraction)
+
+    # -- tier 1 -----------------------------------------------------------------
+
+    def detect_spots(self, store: MdtLogStore) -> SpotDetectionResult:
+        """Run the queue spot detection tier on a (long-term) store."""
+        cleaned = self.preprocess(store)
+        return detect_queue_spots(
+            cleaned,
+            zones=self.zones,
+            projection=self.projection,
+            params=self.config.detection,
+        )
+
+    # -- tier 2 -----------------------------------------------------------------
+
+    def disambiguate(
+        self,
+        store: MdtLogStore,
+        detection: SpotDetectionResult,
+        grid: Optional[TimeSlotGrid] = None,
+    ) -> Dict[str, SpotAnalysis]:
+        """Run queue context disambiguation for every detected spot.
+
+        Args:
+            store: the short-term dataset (typically one day).
+            detection: tier-1 output (spots + pickup events).  When the
+                detection ran on a different store, events are re-extracted
+                from this one.
+            grid: time-slot grid; defaults to one day of 30-minute slots
+                aligned to the store's first midnight.
+
+        Returns:
+            ``spot_id -> SpotAnalysis``.
+        """
+        cleaned = self.preprocess(store)
+        events = detection.pickup_events
+        if not events:
+            from repro.core.pea import extract_all_pickup_events
+
+            events = extract_all_pickup_events(
+                cleaned,
+                speed_threshold_kmh=self.config.detection.speed_threshold_kmh,
+                apply_state_filters=self.config.detection.apply_state_filters,
+            )
+        if grid is None:
+            lo, hi = cleaned.time_span
+            day_start = lo - (lo % 86400.0)
+            grid = TimeSlotGrid(
+                day_start,
+                max(hi, day_start + 86400.0),
+                self.config.slot_seconds,
+            )
+
+        buckets = assign_events_to_spots(
+            events,
+            detection.spots,
+            self.projection,
+            assign_radius_m=self.config.assign_radius_m,
+        )
+        ratios = self._zone_ratios(cleaned)
+        amplification = self.amplification
+
+        analyses: Dict[str, SpotAnalysis] = {}
+        for spot in detection.spots:
+            wait_events = extract_wait_times(buckets[spot.spot_id])
+            features = compute_slot_features(wait_events, grid, amplification)
+            thresholds: Optional[QcdThresholds]
+            try:
+                if self.config.thresholds.granularity == "slot":
+                    thresholds = derive_thresholds_from_features(
+                        features,
+                        slot_seconds=self.config.slot_seconds,
+                        street_job_ratio=ratios.get(spot.zone, 0.84),
+                        policy=self.config.thresholds,
+                    )
+                else:
+                    thresholds = derive_thresholds(
+                        wait_events,
+                        slot_seconds=self.config.slot_seconds,
+                        street_job_ratio=ratios.get(spot.zone, 0.84),
+                        policy=self.config.thresholds,
+                    )
+            except ValueError:
+                thresholds = None
+            if thresholds is None:
+                from repro.core.types import QueueType
+
+                labels = [
+                    SlotLabel(slot=f.slot, label=QueueType.UNIDENTIFIED, routine=0)
+                    for f in features
+                ]
+            else:
+                labels = disambiguate(features, thresholds)
+            analyses[spot.spot_id] = SpotAnalysis(
+                spot=spot,
+                wait_events=wait_events,
+                features=features,
+                labels=labels,
+                thresholds=thresholds,
+            )
+        return analyses
+
+    def _zone_ratios(self, store: MdtLogStore) -> Dict[str, float]:
+        """Street-job ratio per zone (tau_ratio inputs, section 6.2.1).
+
+        A taxi is attributed to the zone where most of its records lie;
+        this keeps job segmentation whole-trajectory while still giving
+        zone-level ratios.
+        """
+        zone_stores: Dict[str, MdtLogStore] = {
+            zone.name: MdtLogStore() for zone in self.zones
+        }
+        for trajectory in store.iter_trajectories():
+            if len(trajectory) == 0:
+                continue
+            counts: Dict[str, int] = {}
+            step = max(1, len(trajectory) // 25)
+            for record in trajectory.records[::step]:
+                name = self.zones.classify_or_nearest(record.lon, record.lat)
+                counts[name] = counts.get(name, 0) + 1
+            home = max(counts, key=counts.get)
+            zone_stores[home].extend(trajectory.records)
+        return {
+            name: zone_street_job_ratio(zone_store)
+            for name, zone_store in zone_stores.items()
+        }

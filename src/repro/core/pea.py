@@ -1,0 +1,173 @@
+"""Algorithm 1 — the Pickup Extraction Algorithm (PEA).
+
+PEA scans one taxi's trajectory and extracts *slow pickup events*:
+sub-trajectories with at least two consecutive low-speed records (the taxi
+inching forward in a waiting line) whose taxi states show a genuine pickup.
+
+The algorithm keeps two flags while scanning:
+
+* ``phi1`` — the previous record was low-speed;
+* ``phi2`` — a candidate sub-trajectory R_k is currently open (at least
+  two consecutive low-speed records seen).
+
+Records with a non-operational state (BREAK/OFFLINE/POWEROFF) reset the
+scan (the paper's TAG1).  When speed rises back above the threshold with a
+candidate open, the candidate is kept unless one of the three state
+constraints of section 4.2 rejects it:
+
+1. it starts occupied and ends unoccupied (a passenger-alight event);
+2. it starts FREE and ends ONCALL (the taxi left for a booking elsewhere);
+3. its state never changes (a traffic jam or red light).
+
+Two deliberate clarifications of the published pseudocode, documented in
+DESIGN.md: the candidate state is fully reset after a keep decision (the
+paper resets it only on the discard paths, which would leak state), and a
+candidate still open at the end of the trajectory is finalized with the
+same constraints (the paper leaves end-of-input unspecified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.states.states import (
+    TaxiState,
+    OCCUPIED_STATES,
+    UNOCCUPIED_STATES,
+    NON_OPERATIONAL_STATES,
+)
+from repro.trace.trajectory import SubTrajectory, Trajectory
+
+#: The paper's speed threshold eta_sp: 10 km/h (section 6.1.2).
+DEFAULT_SPEED_THRESHOLD_KMH = 10.0
+
+
+@dataclass(frozen=True)
+class PeaStats:
+    """Bookkeeping of one PEA run (useful for ablations and tests)."""
+
+    candidates: int = 0
+    kept: int = 0
+    rejected_alight: int = 0
+    rejected_oncall_leave: int = 0
+    rejected_no_transition: int = 0
+
+
+def extract_pickup_events(
+    trajectory: Trajectory,
+    speed_threshold_kmh: float = DEFAULT_SPEED_THRESHOLD_KMH,
+    apply_state_filters: bool = True,
+) -> List[SubTrajectory]:
+    """Run PEA over one taxi's trajectory.
+
+    Args:
+        trajectory: the taxi's full (cleaned) trajectory.
+        speed_threshold_kmh: eta_sp; records at or below it are low-speed.
+        apply_state_filters: disable to ablate the three state-transition
+            constraints (bench ``ablation_state_filters``).
+
+    Returns:
+        The sub-trajectory set omega of slow pickup events, in temporal
+        order.
+    """
+    events, _ = extract_pickup_events_with_stats(
+        trajectory, speed_threshold_kmh, apply_state_filters
+    )
+    return events
+
+
+def extract_pickup_events_with_stats(
+    trajectory: Trajectory,
+    speed_threshold_kmh: float = DEFAULT_SPEED_THRESHOLD_KMH,
+    apply_state_filters: bool = True,
+) -> tuple:
+    """Like :func:`extract_pickup_events` but also returns :class:`PeaStats`."""
+    if speed_threshold_kmh <= 0:
+        raise ValueError("speed threshold must be positive")
+
+    omega: List[SubTrajectory] = []
+    candidates = 0
+    rejected_alight = 0
+    rejected_oncall_leave = 0
+    rejected_no_transition = 0
+
+    phi1 = False
+    phi2 = False
+    start_idx = -1  # index of p_{i-1} when the candidate opened
+
+    def finalize(end_idx: int) -> None:
+        """Apply the section-4.2 constraints to R_k = R(start_idx, end_idx)."""
+        nonlocal candidates, rejected_alight, rejected_oncall_leave
+        nonlocal rejected_no_transition
+        candidates += 1
+        sub = trajectory.sub(start_idx, end_idx)
+        if apply_state_filters:
+            first_state = sub.first.state
+            last_state = sub.last.state
+            if first_state in OCCUPIED_STATES and last_state in UNOCCUPIED_STATES:
+                rejected_alight += 1
+                return
+            if first_state is TaxiState.FREE and last_state is TaxiState.ONCALL:
+                rejected_oncall_leave += 1
+                return
+            states = sub.states()
+            if all(state is states[0] for state in states):
+                rejected_no_transition += 1
+                return
+        omega.append(sub)
+
+    records = trajectory.records
+    for i, record in enumerate(records):
+        if record.state in NON_OPERATIONAL_STATES:
+            # TAG1: drop any open candidate and restart the scan.
+            phi1 = False
+            phi2 = False
+            continue
+        low = record.speed <= speed_threshold_kmh
+        if low:
+            if not phi1:
+                phi1 = True
+            elif not phi2:
+                start_idx = i - 1
+                phi2 = True
+            # with phi1 and phi2 the record simply extends the candidate
+        else:
+            if phi2:
+                finalize(i - 1)
+            phi1 = False
+            phi2 = False
+    if phi2:
+        finalize(len(records) - 1)
+
+    stats = PeaStats(
+        candidates=candidates,
+        kept=len(omega),
+        rejected_alight=rejected_alight,
+        rejected_oncall_leave=rejected_oncall_leave,
+        rejected_no_transition=rejected_no_transition,
+    )
+    return omega, stats
+
+
+def extract_all_pickup_events(
+    store,
+    speed_threshold_kmh: float = DEFAULT_SPEED_THRESHOLD_KMH,
+    apply_state_filters: bool = True,
+) -> List[SubTrajectory]:
+    """Run PEA over every taxi in a log store (the multi-taxi set W).
+
+    Args:
+        store: an :class:`~repro.trace.log_store.MdtLogStore`.
+
+    Returns:
+        The union of all taxis' pickup-event sub-trajectories.
+    """
+    events: List[SubTrajectory] = []
+    for trajectory in store.iter_trajectories():
+        events.extend(
+            extract_pickup_events(
+                trajectory, speed_threshold_kmh, apply_state_filters
+            )
+        )
+    return events

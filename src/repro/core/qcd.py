@@ -1,0 +1,89 @@
+"""Algorithm 3 — the Queue Context Disambiguation (QCD) algorithm.
+
+QCD labels each time slot of a queue spot with one of the four contexts of
+Table 3 using the slot's 5-tuple features and the six thresholds.
+
+Routine 1 (features significant on their own):
+
+* no taxi queue (L < 1):
+    - many FREE-taxi arrivals AND short mean wait        -> C2
+    - few arrivals AND long mean wait                    -> C4
+* taxi queue (L >= 1):
+    - many departures AND short departure interval       -> C1
+    - few departures AND long departure interval         -> C3
+
+Routine 2 (slots Routine 1 left unlabeled): when departures span most of
+the slot (N_dep * t_dep > eta_dur) and the ratio of FREE-taxi arrivals to
+total departures is small (N_arr/N_dep < tau_ratio — i.e. a large share of
+ONCALL taxis departs, signalling passengers who could not hail a FREE
+taxi), a passenger queue is inferred: label C1 if a taxi queue exists,
+else C2.
+
+Slots neither routine can decide stay ``UNIDENTIFIED`` (about 16% in the
+paper's evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import QueueType, SlotFeatures, SlotLabel
+
+
+def label_slot(
+    features: SlotFeatures, thresholds: QcdThresholds
+) -> SlotLabel:
+    """Label a single time slot (both routines)."""
+    label = _routine1(features, thresholds)
+    if label is not None:
+        return SlotLabel(slot=features.slot, label=label, routine=1)
+    label = _routine2(features, thresholds)
+    if label is not None:
+        return SlotLabel(slot=features.slot, label=label, routine=2)
+    return SlotLabel(slot=features.slot, label=QueueType.UNIDENTIFIED, routine=0)
+
+
+def _routine1(f: SlotFeatures, th: QcdThresholds) -> QueueType | None:
+    if f.queue_length < 1.0:
+        if f.mean_wait_s is None:
+            return None
+        if f.n_arrivals >= th.tau_arr and f.mean_wait_s < th.eta_wait:
+            return QueueType.C2
+        if f.n_arrivals < th.tau_arr and f.mean_wait_s >= th.eta_wait:
+            return QueueType.C4
+        return None
+    if f.n_departures >= th.tau_dep and f.mean_departure_interval_s < th.eta_dep:
+        return QueueType.C1
+    if f.n_departures < th.tau_dep and f.mean_departure_interval_s >= th.eta_dep:
+        return QueueType.C3
+    return None
+
+
+def _routine2(f: SlotFeatures, th: QcdThresholds) -> QueueType | None:
+    if f.n_departures <= 0:
+        return None
+    sustained = f.n_departures * f.mean_departure_interval_s > th.eta_dur
+    oncall_heavy = (f.n_arrivals / f.n_departures) < th.tau_ratio
+    if not (sustained and oncall_heavy):
+        return None
+    return QueueType.C1 if f.queue_length >= 1.0 else QueueType.C2
+
+
+def disambiguate(
+    features: Iterable[SlotFeatures], thresholds: QcdThresholds
+) -> List[SlotLabel]:
+    """Label every slot of a spot's feature set Omega(r)."""
+    return [label_slot(f, thresholds) for f in features]
+
+
+def label_proportions(labels: Iterable[SlotLabel]) -> dict:
+    """Fraction of slots per queue type (the paper's Table 7 rows)."""
+    counts = {qt: 0 for qt in QueueType}
+    total = 0
+    for slot_label in labels:
+        counts[slot_label.label] += 1
+        total += 1
+    if total == 0:
+        return {qt: 0.0 for qt in QueueType}
+    return {qt: counts[qt] / total for qt in QueueType}

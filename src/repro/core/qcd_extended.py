@@ -1,0 +1,111 @@
+"""Extended QCD: a third routine that shrinks the Unidentified share.
+
+**This is an extension, not part of the paper.**  The paper's QCD leaves
+~16.5% of slots unidentified; on sparse simulated data the share is
+larger, dominated by two recoverable cases the paper's example in
+section 6.2.2 describes ("only several taxis arrive and depart with a
+moderate average wait time"):
+
+* *light-flow quick-service* slots — few FREE-taxi arrivals, each served
+  quickly: with so few probes a standing passenger queue would have
+  served them instantly too, but a standing queue also implies sustained
+  departures, which are absent -> **C4**;
+* *sustained quick-service* slots — arrivals near (but under) tau_arr
+  with consistently short waits: the same evidence Routine 1 calls C2,
+  at slightly lower intensity -> **C2**;
+* *moderate-cadence taxi queues* — a standing taxi queue (L >= 1) whose
+  departure cadence sits between the C1 and C3 thresholds: split at
+  ``mid_factor x eta_dep`` -> **C1** below, **C3** above.
+
+Routine 3 runs only on slots Routines 1-2 left unidentified, so enabling
+it never changes a paper-faithful label.  The coverage/accuracy
+trade-off is measured in ``benchmarks/bench_extended_qcd.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.qcd import label_slot
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import QueueType, SlotFeatures, SlotLabel
+
+#: Routine id reported for extension-decided labels.
+ROUTINE_EXTENDED = 3
+
+
+@dataclass(frozen=True)
+class ExtendedPolicy:
+    """Knobs of the extension routine.
+
+    Attributes:
+        light_flow_fraction: N_arr below this fraction of tau_arr counts
+            as light flow (-> C4 when waits are short and departures are
+            not sustained).
+        sustained_fraction: N_arr above this fraction of tau_arr counts
+            as sustained quick service (-> C2 when waits are short).
+        mid_factor: taxi-queue slots with t_dep below
+            ``mid_factor * eta_dep`` lean C1, above lean C3.
+    """
+
+    light_flow_fraction: float = 0.25
+    sustained_fraction: float = 0.60
+    mid_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.light_flow_fraction < self.sustained_fraction:
+            raise ValueError(
+                "need 0 < light_flow_fraction < sustained_fraction"
+            )
+        if self.mid_factor < 1.0:
+            raise ValueError("mid_factor must be >= 1")
+
+
+def _routine3(
+    f: SlotFeatures, th: QcdThresholds, policy: ExtendedPolicy
+) -> Optional[QueueType]:
+    if f.mean_wait_s is None:
+        return None  # genuinely no evidence
+    if f.queue_length < 1.0:
+        if f.mean_wait_s >= th.eta_wait:
+            return None  # slow service without arrivals: ambiguous
+        if f.n_arrivals <= th.tau_arr * policy.light_flow_fraction:
+            return QueueType.C4
+        if f.n_arrivals >= th.tau_arr * policy.sustained_fraction:
+            return QueueType.C2
+        return None
+    # Taxi queue with a cadence between the Routine-1 branches.
+    if f.mean_departure_interval_s < th.eta_dep * policy.mid_factor:
+        return QueueType.C1
+    return QueueType.C3
+
+
+def label_slot_extended(
+    features: SlotFeatures,
+    thresholds: QcdThresholds,
+    policy: ExtendedPolicy = ExtendedPolicy(),
+) -> SlotLabel:
+    """Label a slot with Routines 1-2 first, then the extension.
+
+    Identical to :func:`repro.core.qcd.label_slot` whenever the paper's
+    routines decide; only unidentified slots reach Routine 3.
+    """
+    label = label_slot(features, thresholds)
+    if label.label is not QueueType.UNIDENTIFIED:
+        return label
+    extended = _routine3(features, thresholds, policy)
+    if extended is None:
+        return label
+    return SlotLabel(
+        slot=features.slot, label=extended, routine=ROUTINE_EXTENDED
+    )
+
+
+def disambiguate_extended(
+    features: Iterable[SlotFeatures],
+    thresholds: QcdThresholds,
+    policy: ExtendedPolicy = ExtendedPolicy(),
+) -> List[SlotLabel]:
+    """Label every slot with the extended routine chain."""
+    return [label_slot_extended(f, thresholds, policy) for f in features]

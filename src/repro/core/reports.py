@@ -1,0 +1,92 @@
+"""Report generation: the textual output of the deployed system.
+
+Section 7.1's frontend lets a user query a spot's identified queue type
+per slot and "further query the long-term queue type transition reports".
+These helpers turn :class:`~repro.core.engine.SpotAnalysis` objects into
+such reports: merged label timelines (the Table 9 presentation), type
+proportions (Table 7), and plain-text summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.qcd import label_proportions
+from repro.core.types import QueueType, SlotLabel, TimeSlotGrid
+
+
+@dataclass(frozen=True)
+class LabelSpan:
+    """A maximal run of consecutive slots sharing one label."""
+
+    start_slot: int
+    end_slot: int
+    label: QueueType
+
+    def time_range(self, grid: TimeSlotGrid) -> str:
+        """``HH:MM-HH:MM`` covering the whole span."""
+        lo = grid.label_of(self.start_slot).split("-")[0]
+        hi = grid.label_of(self.end_slot).split("-")[1]
+        return f"{lo}-{hi}"
+
+
+def merge_labels(labels: Sequence[SlotLabel]) -> List[LabelSpan]:
+    """Collapse per-slot labels into maximal same-label spans (Table 9)."""
+    spans: List[LabelSpan] = []
+    for slot_label in labels:
+        if spans and spans[-1].label is slot_label.label:
+            last = spans[-1]
+            spans[-1] = LabelSpan(last.start_slot, slot_label.slot, last.label)
+        else:
+            spans.append(
+                LabelSpan(slot_label.slot, slot_label.slot, slot_label.label)
+            )
+    return spans
+
+
+def transition_report(
+    analysis: SpotAnalysis, grid: TimeSlotGrid
+) -> List[Dict[str, str]]:
+    """The spot's queue-type transition report as table rows."""
+    rows: List[Dict[str, str]] = []
+    for span in merge_labels(analysis.labels):
+        rows.append(
+            {
+                "time": span.time_range(grid),
+                "queue_type": span.label.value,
+                "slots": str(span.end_slot - span.start_slot + 1),
+            }
+        )
+    return rows
+
+
+def format_transition_report(analysis: SpotAnalysis, grid: TimeSlotGrid) -> str:
+    """Human-readable transition report for one spot."""
+    lines = [
+        f"Queue spot {analysis.spot.spot_id} "
+        f"({analysis.spot.zone}, {analysis.spot.pickup_count} pickups)",
+        f"{'time':>13}  type",
+    ]
+    for row in transition_report(analysis, grid):
+        lines.append(f"{row['time']:>13}  {row['queue_type']}")
+    return "\n".join(lines)
+
+
+def citywide_proportions(
+    analyses: Iterable[SpotAnalysis],
+) -> Dict[QueueType, float]:
+    """Queue-type proportions over all spots' slots (Table 7)."""
+    all_labels: List[SlotLabel] = []
+    for analysis in analyses:
+        all_labels.extend(analysis.labels)
+    return label_proportions(all_labels)
+
+
+def format_proportions(proportions: Dict[QueueType, float]) -> str:
+    """Table-7-style text: one line per queue type with its percentage."""
+    lines = ["Queue Type   Percentage in All Time Slots"]
+    for qt in QueueType:
+        lines.append(f"{qt.value:<12} {proportions.get(qt, 0.0) * 100.0:5.1f}%")
+    return "\n".join(lines)

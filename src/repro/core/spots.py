@@ -1,0 +1,198 @@
+"""Tier 1 — queue spot detection (paper section 4).
+
+Pipeline: PEA over every taxi's trajectory -> one central GPS location per
+pickup event -> per-zone DBSCAN over the location set -> cluster centroids
+are the detected queue spots.
+
+The per-zone split mirrors section 6.1.2: the paper divides Singapore into
+the four rectangular zones of Fig. 5 and clusters each zone separately,
+both for locality of parameters and to cut DBSCAN's cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.centroids import cluster_centroids
+from repro.cluster.dbscan import dbscan
+from repro.cluster.neighbors import GridNeighbors, NeighborsFactory
+from repro.core.pea import DEFAULT_SPEED_THRESHOLD_KMH, extract_all_pickup_events
+from repro.core.types import QueueSpot
+from repro.geo.point import LocalProjection
+from repro.geo.zones import ZonePartition
+from repro.trace.log_store import MdtLogStore
+from repro.trace.trajectory import SubTrajectory
+
+
+@dataclass(frozen=True)
+class SpotDetectionParams:
+    """Parameters of the detection tier (paper defaults)."""
+
+    eps_m: float = 15.0
+    """DBSCAN eps_d in metres (Fig. 6 sweeps 5..20; the paper picks 15)."""
+
+    min_pts: int = 50
+    """DBSCAN p_d (Fig. 6 sweeps 25..150; the paper picks 50 per day)."""
+
+    speed_threshold_kmh: float = DEFAULT_SPEED_THRESHOLD_KMH
+    """PEA's eta_sp (10 km/h in section 6.1.2)."""
+
+    apply_state_filters: bool = True
+    """PEA's three state-transition constraints (ablation knob)."""
+
+
+@dataclass
+class SpotDetectionResult:
+    """Everything the detection tier produces."""
+
+    spots: List[QueueSpot]
+    pickup_events: List[SubTrajectory]
+    centroids_lonlat: np.ndarray
+    """``(n, 2)`` lon/lat of every pickup event centroid."""
+
+    noise_count: int
+    """Pickup events DBSCAN classified as noise (scattered street hails)."""
+
+    per_zone_counts: Dict[str, int] = field(default_factory=dict)
+    """Detected spots per zone (paper Fig. 8)."""
+
+
+def pickup_centroids(events: Sequence[SubTrajectory]) -> np.ndarray:
+    """The central GPS location of every pickup event, ``(n, 2)`` lon/lat."""
+    if not events:
+        return np.empty((0, 2), dtype=np.float64)
+    return np.asarray([sub.centroid() for sub in events], dtype=np.float64)
+
+
+def detect_queue_spots(
+    store: MdtLogStore,
+    zones: ZonePartition,
+    projection: LocalProjection,
+    params: SpotDetectionParams = SpotDetectionParams(),
+    neighbors_factory: NeighborsFactory = GridNeighbors,
+) -> SpotDetectionResult:
+    """Detect queue spots from a log store (the full tier-1 pipeline).
+
+    Args:
+        store: cleaned MDT logs (one or more days).
+        zones: the Fig. 5 zone partition used to split the clustering.
+        projection: lon/lat -> metre projection for the city.
+        params: PEA/DBSCAN parameters.
+        neighbors_factory: DBSCAN neighbour backend (grid index default).
+
+    Returns:
+        A :class:`SpotDetectionResult`; spots are ordered by descending
+        pickup count and get ids ``QS001, QS002, ...``.
+    """
+    events = extract_all_pickup_events(
+        store,
+        speed_threshold_kmh=params.speed_threshold_kmh,
+        apply_state_filters=params.apply_state_filters,
+    )
+    lonlat = pickup_centroids(events)
+    return detect_from_centroids(
+        lonlat,
+        zones,
+        projection,
+        params,
+        neighbors_factory=neighbors_factory,
+        events=events,
+    )
+
+
+def detect_from_centroids(
+    lonlat: np.ndarray,
+    zones: ZonePartition,
+    projection: LocalProjection,
+    params: SpotDetectionParams = SpotDetectionParams(),
+    neighbors_factory: NeighborsFactory = GridNeighbors,
+    events: Optional[List[SubTrajectory]] = None,
+) -> SpotDetectionResult:
+    """Cluster pre-computed pickup centroids into queue spots.
+
+    Split out of :func:`detect_queue_spots` so parameter sweeps (the
+    Fig. 6 bench) can reuse one PEA pass across many DBSCAN settings.
+    """
+    lonlat = np.asarray(lonlat, dtype=np.float64).reshape(-1, 2)
+    raw_spots: List[Tuple[str, float, float, int, float]] = []
+    noise = 0
+    per_zone: Dict[str, int] = {zone.name: 0 for zone in zones}
+
+    zone_names = np.asarray(
+        [zones.classify_or_nearest(lon, lat) for lon, lat in lonlat]
+    )
+    for zone in zones:
+        mask = zone_names == zone.name
+        zone_lonlat = lonlat[mask]
+        if len(zone_lonlat) == 0:
+            continue
+        xy = projection.to_xy_array(zone_lonlat[:, 0], zone_lonlat[:, 1])
+        result = dbscan(
+            xy, eps=params.eps_m, min_pts=params.min_pts,
+            neighbors_factory=neighbors_factory,
+        )
+        noise += int(len(result.noise_indices()))
+        for summary in cluster_centroids(xy, result):
+            lon, lat = projection.to_lonlat(summary.x, summary.y)
+            raw_spots.append(
+                (zone.name, lon, lat, summary.size, summary.radius_m)
+            )
+            per_zone[zone.name] += 1
+
+    raw_spots.sort(key=lambda item: -item[3])
+    spots = [
+        QueueSpot(
+            spot_id=f"QS{i + 1:03d}",
+            lon=lon,
+            lat=lat,
+            zone=zone_name,
+            pickup_count=size,
+            radius_m=radius,
+        )
+        for i, (zone_name, lon, lat, size, radius) in enumerate(raw_spots)
+    ]
+    return SpotDetectionResult(
+        spots=spots,
+        pickup_events=list(events) if events is not None else [],
+        centroids_lonlat=lonlat,
+        noise_count=noise,
+        per_zone_counts=per_zone,
+    )
+
+
+def assign_events_to_spots(
+    events: Sequence[SubTrajectory],
+    spots: Sequence[QueueSpot],
+    projection: LocalProjection,
+    assign_radius_m: float = 30.0,
+) -> Dict[str, List[SubTrajectory]]:
+    """Build W(r): map pickup events to the nearest detected spot.
+
+    An event belongs to the closest spot whose centroid lies within
+    ``assign_radius_m`` of the event's central location (twice the
+    detection eps by default, absorbing GPS jitter); unmatched events are
+    dropped (scattered street pickups).
+
+    Returns:
+        ``spot_id -> list of sub-trajectories``; every spot id appears,
+        possibly with an empty list.
+    """
+    buckets: Dict[str, List[SubTrajectory]] = {s.spot_id: [] for s in spots}
+    if not spots or not events:
+        return buckets
+    spot_xy = projection.to_xy_array(
+        np.asarray([s.lon for s in spots]), np.asarray([s.lat for s in spots])
+    )
+    lonlat = pickup_centroids(events)
+    event_xy = projection.to_xy_array(lonlat[:, 0], lonlat[:, 1])
+    # Brute-force over spots is fine: |spots| is O(100).
+    for i, event in enumerate(events):
+        diff = spot_xy - event_xy[i]
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        j = int(np.argmin(d2))
+        if d2[j] <= assign_radius_m * assign_radius_m:
+            buckets[spots[j].spot_id].append(event)
+    return buckets

@@ -1,0 +1,32 @@
+"""Export layer: the deployed system's frontend artefacts (section 7.1).
+
+The paper's deployment shows detected queue spots on a map with per-slot
+queue types on hover, and lets users save long-term transition reports.
+This package produces the equivalent static artefacts:
+
+* :mod:`repro.export.geojson` — spots and labels as GeoJSON
+  FeatureCollections (loadable by any web map);
+* :mod:`repro.export.html_report` — a self-contained HTML page with the
+  spot table and per-spot label timelines (no external assets);
+* :mod:`repro.export.csv_report` — flat CSV files for downstream
+  analysis.
+"""
+
+from repro.export.geojson import spots_to_geojson, labels_to_geojson, dump_geojson
+from repro.export.html_report import render_html_report, write_html_report
+from repro.export.csv_report import (
+    write_spots_csv,
+    write_labels_csv,
+    write_features_csv,
+)
+
+__all__ = [
+    "spots_to_geojson",
+    "labels_to_geojson",
+    "dump_geojson",
+    "render_html_report",
+    "write_html_report",
+    "write_spots_csv",
+    "write_labels_csv",
+    "write_features_csv",
+]

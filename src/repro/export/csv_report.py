@@ -1,0 +1,96 @@
+"""Flat CSV exports of spots, labels and features.
+
+Section 7.1: "the user can further query the long-term queue type
+transition reports and save it into the database or a text file" — these
+are those text files.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueSpot, TimeSlotGrid
+
+
+def write_spots_csv(spots: Iterable[QueueSpot], path) -> int:
+    """Write the detected spot table; returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["spot_id", "longitude", "latitude", "zone", "pickup_count",
+             "radius_m"]
+        )
+        for spot in spots:
+            writer.writerow(
+                [
+                    spot.spot_id,
+                    f"{spot.lon:.6f}",
+                    f"{spot.lat:.6f}",
+                    spot.zone,
+                    spot.pickup_count,
+                    f"{spot.radius_m:.1f}",
+                ]
+            )
+            rows += 1
+    return rows
+
+
+def write_labels_csv(
+    analyses: Iterable[SpotAnalysis], grid: TimeSlotGrid, path
+) -> int:
+    """Write one row per spot-slot with its queue type; returns rows."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["spot_id", "slot", "time", "queue_type", "routine"])
+        for analysis in analyses:
+            for slot_label in analysis.labels:
+                writer.writerow(
+                    [
+                        analysis.spot.spot_id,
+                        slot_label.slot,
+                        grid.label_of(slot_label.slot),
+                        slot_label.label.value,
+                        slot_label.routine,
+                    ]
+                )
+                rows += 1
+    return rows
+
+
+def write_features_csv(
+    analyses: Iterable[SpotAnalysis], grid: TimeSlotGrid, path
+) -> int:
+    """Write the 5-tuple features per spot-slot; returns rows."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "spot_id", "slot", "time", "mean_wait_s", "n_arrivals",
+                "queue_length", "mean_departure_interval_s", "n_departures",
+            ]
+        )
+        for analysis in analyses:
+            for f in analysis.features:
+                writer.writerow(
+                    [
+                        analysis.spot.spot_id,
+                        f.slot,
+                        grid.label_of(f.slot),
+                        "" if f.mean_wait_s is None else f"{f.mean_wait_s:.1f}",
+                        f"{f.n_arrivals:.2f}",
+                        f"{f.queue_length:.3f}",
+                        f"{f.mean_departure_interval_s:.1f}",
+                        f"{f.n_departures:.2f}",
+                    ]
+                )
+                rows += 1
+    return rows

@@ -1,0 +1,106 @@
+"""GeoJSON export of detected spots and their queue contexts.
+
+The deployed system (section 7.1) renders spots on Google Maps; GeoJSON
+is the substrate-neutral equivalent: the output loads directly into
+Leaflet, QGIS, geojson.io or kepler.gl.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueSpot, QueueType, TimeSlotGrid
+
+#: Display colours per queue type (UI convention, not from the paper).
+TYPE_COLORS: Dict[QueueType, str] = {
+    QueueType.C1: "#d62728",          # both queues: red
+    QueueType.C2: "#ff7f0e",          # passenger queue: orange
+    QueueType.C3: "#1f77b4",          # taxi queue: blue
+    QueueType.C4: "#2ca02c",          # no queue: green
+    QueueType.UNIDENTIFIED: "#7f7f7f",
+}
+
+
+def spots_to_geojson(spots: Sequence[QueueSpot]) -> dict:
+    """Detected queue spots as a GeoJSON FeatureCollection."""
+    features = []
+    for spot in spots:
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    "coordinates": [spot.lon, spot.lat],
+                },
+                "properties": {
+                    "spot_id": spot.spot_id,
+                    "zone": spot.zone,
+                    "pickup_count": spot.pickup_count,
+                    "radius_m": round(spot.radius_m, 1),
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def labels_to_geojson(
+    analyses: Iterable[SpotAnalysis],
+    grid: TimeSlotGrid,
+    slot: Optional[int] = None,
+) -> dict:
+    """Spots with their queue-type labels as a GeoJSON FeatureCollection.
+
+    Args:
+        analyses: tier-2 output.
+        grid: the slot grid the labels refer to.
+        slot: a single slot to export (hover view); None exports the full
+            per-slot label list per spot (report view).
+
+    Raises:
+        IndexError: for an out-of-range explicit slot.
+    """
+    features = []
+    for analysis in analyses:
+        spot = analysis.spot
+        props: dict = {
+            "spot_id": spot.spot_id,
+            "zone": spot.zone,
+            "pickup_count": spot.pickup_count,
+        }
+        if slot is not None:
+            label = analysis.labels[slot].label
+            props.update(
+                {
+                    "slot": slot,
+                    "time": grid.label_of(slot),
+                    "queue_type": label.value,
+                    "color": TYPE_COLORS[label],
+                }
+            )
+        else:
+            props["labels"] = [
+                {"time": grid.label_of(l.slot), "queue_type": l.label.value}
+                for l in analysis.labels
+            ]
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    "coordinates": [spot.lon, spot.lat],
+                },
+                "properties": props,
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def dump_geojson(collection: dict, path) -> None:
+    """Write a FeatureCollection to disk (UTF-8, stable key order)."""
+    from pathlib import Path
+
+    Path(path).write_text(
+        json.dumps(collection, indent=2, sort_keys=True), encoding="utf-8"
+    )

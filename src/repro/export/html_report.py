@@ -1,0 +1,123 @@
+"""Self-contained HTML report: the section-7.1 frontend, statically.
+
+Produces one HTML file with no external assets: a summary header, the
+Table 7-style proportion bar, the spot table, and a per-spot label strip
+(48 coloured cells, one per half-hour slot) that reproduces the hover
+information of the deployed UI.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.core.engine import SpotAnalysis
+from repro.core.qcd import label_proportions
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.export.geojson import TYPE_COLORS
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.9rem; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: left; }
+th { background: #f2f2f2; }
+.strip { display: flex; height: 14px; width: 576px; }
+.cell { flex: 1; } .cell:hover { outline: 2px solid #000; }
+.legend span { display: inline-block; padding: 0.1rem 0.5rem;
+               margin-right: 0.4rem; color: #fff; border-radius: 3px; }
+.bar { display: flex; height: 22px; width: 480px; margin: 0.5rem 0; }
+.bar div { color: #fff; font-size: 0.75rem; text-align: center;
+           overflow: hidden; white-space: nowrap; }
+"""
+
+
+def _legend() -> str:
+    parts = [
+        f'<span style="background:{TYPE_COLORS[qt]}">{qt.value}</span>'
+        for qt in QueueType
+    ]
+    return f'<p class="legend">{"".join(parts)}</p>'
+
+
+def _proportion_bar(analyses: List[SpotAnalysis]) -> str:
+    labels = [l for a in analyses for l in a.labels]
+    props = label_proportions(labels)
+    cells = []
+    for qt in QueueType:
+        pct = props.get(qt, 0.0) * 100.0
+        if pct <= 0:
+            continue
+        cells.append(
+            f'<div style="width:{pct:.2f}%;background:{TYPE_COLORS[qt]}" '
+            f'title="{qt.value}: {pct:.1f}%">{pct:.0f}%</div>'
+        )
+    return f'<div class="bar">{"".join(cells)}</div>'
+
+
+def _label_strip(analysis: SpotAnalysis, grid: TimeSlotGrid) -> str:
+    cells = []
+    for slot_label in analysis.labels:
+        color = TYPE_COLORS[slot_label.label]
+        title = (
+            f"{grid.label_of(slot_label.slot)}: {slot_label.label.value}"
+        )
+        cells.append(
+            f'<div class="cell" style="background:{color}" '
+            f'title="{html.escape(title)}"></div>'
+        )
+    return f'<div class="strip">{"".join(cells)}</div>'
+
+
+def render_html_report(
+    analyses: Iterable[SpotAnalysis],
+    grid: TimeSlotGrid,
+    title: str = "Queue Detection and Analysis Report",
+) -> str:
+    """Render the report; returns the HTML text."""
+    analyses = sorted(
+        analyses, key=lambda a: -a.spot.pickup_count
+    )
+    rows = []
+    for analysis in analyses:
+        spot = analysis.spot
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(spot.spot_id)}</td>"
+            f"<td>{spot.lon:.5f}, {spot.lat:.5f}</td>"
+            f"<td>{html.escape(spot.zone)}</td>"
+            f"<td>{spot.pickup_count}</td>"
+            f"<td>{_label_strip(analysis, grid)}</td>"
+            "</tr>"
+        )
+    body = (
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p>{len(analyses)} queue spots; "
+        f"{grid.n_slots} time slots of {grid.slot_seconds / 60:.0f} minutes."
+        "</p>"
+        f"{_legend()}"
+        "<h2>City-wide queue type proportions</h2>"
+        f"{_proportion_bar(analyses)}"
+        "<h2>Queue spots</h2>"
+        "<table><tr><th>spot</th><th>location</th><th>zone</th>"
+        "<th>pickups</th><th>day timeline (hover for slot)</th></tr>"
+        f"{''.join(rows)}</table>"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>"
+        f"<body>{body}</body></html>"
+    )
+
+
+def write_html_report(
+    analyses: Iterable[SpotAnalysis],
+    grid: TimeSlotGrid,
+    path,
+    title: str = "Queue Detection and Analysis Report",
+) -> None:
+    """Render and write the report to ``path``."""
+    Path(path).write_text(
+        render_html_report(analyses, grid, title), encoding="utf-8"
+    )

@@ -1,0 +1,88 @@
+"""Axis-aligned bounding boxes in lon/lat space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.geo.point import equirectangular_m
+
+
+@dataclass(frozen=True)
+class BBox:
+    """A lon/lat axis-aligned rectangle: ``west <= lon <= east`` etc."""
+
+    west: float
+    south: float
+    east: float
+    north: float
+
+    def __post_init__(self) -> None:
+        if self.west > self.east or self.south > self.north:
+            raise ValueError(
+                f"degenerate bbox: west={self.west} east={self.east} "
+                f"south={self.south} north={self.north}"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[Tuple[float, float]]) -> "BBox":
+        """Smallest bbox containing all ``(lon, lat)`` points.
+
+        Raises:
+            ValueError: if ``points`` is empty.
+        """
+        lons = []
+        lats = []
+        for lon, lat in points:
+            lons.append(lon)
+            lats.append(lat)
+        if not lons:
+            raise ValueError("cannot build a bbox from zero points")
+        return cls(min(lons), min(lats), max(lons), max(lats))
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """The ``(lon, lat)`` midpoint of the box."""
+        return (self.west + self.east) / 2.0, (self.south + self.north) / 2.0
+
+    @property
+    def width_m(self) -> float:
+        """East-west extent in metres, measured along the mid latitude."""
+        mid_lat = (self.south + self.north) / 2.0
+        return equirectangular_m(self.west, mid_lat, self.east, mid_lat)
+
+    @property
+    def height_m(self) -> float:
+        """North-south extent in metres."""
+        return equirectangular_m(self.west, self.south, self.west, self.north)
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """True if the point lies inside or on the boundary."""
+        return (
+            self.west <= lon <= self.east and self.south <= lat <= self.north
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        """True if the two boxes share at least one point."""
+        return not (
+            other.west > self.east
+            or other.east < self.west
+            or other.south > self.north
+            or other.north < self.south
+        )
+
+    def expanded(self, margin_deg: float) -> "BBox":
+        """Return a copy grown by ``margin_deg`` on every side."""
+        return BBox(
+            self.west - margin_deg,
+            self.south - margin_deg,
+            self.east + margin_deg,
+            self.north + margin_deg,
+        )
+
+    def clamp(self, lon: float, lat: float) -> Tuple[float, float]:
+        """Project a point onto the box (nearest interior point)."""
+        return (
+            min(max(lon, self.west), self.east),
+            min(max(lat, self.south), self.north),
+        )

@@ -1,0 +1,102 @@
+"""A discrete-event FIFO queue simulator.
+
+The paper assumes only the FIFO discipline for both taxi and passenger
+queues (section 3).  This standalone single-queue simulator serves two
+purposes:
+
+* a test oracle — simulated waits must satisfy Little's law, which the
+  property tests check against :mod:`repro.queueing.littles_law`;
+* a design tool — the workload designer uses it to sanity-check the
+  arrival/service rates chosen for the city simulator's queue spots.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class QueueSimResult:
+    """Aggregate outcome of a FIFO queue simulation.
+
+    Attributes:
+        waits: per-customer wait (service start minus arrival), seconds.
+        departures: service-start timestamps, in order.
+        time_avg_queue_length: time-average number waiting (excludes the
+            customer in service), computed from the queue-length step
+            function over the simulated horizon.
+    """
+
+    waits: List[float] = field(default_factory=list)
+    departures: List[float] = field(default_factory=list)
+    time_avg_queue_length: float = 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        """Average wait in seconds (0 when no customer completed)."""
+        if not self.waits:
+            return 0.0
+        return sum(self.waits) / len(self.waits)
+
+
+class FifoQueueSim:
+    """Single-server FIFO queue fed by a Poisson arrival process.
+
+    Args:
+        arrival_rate: customers per second (lambda).
+        service_rate: services per second (mu); exponential service times.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float, seed: int = 0):
+        if arrival_rate <= 0 or service_rate <= 0:
+            raise ValueError("rates must be positive")
+        self.arrival_rate = arrival_rate
+        self.service_rate = service_rate
+        self._rng = random.Random(seed)
+
+    def run(self, horizon_s: float) -> QueueSimResult:
+        """Simulate arrivals over ``[0, horizon_s)`` and drain the queue.
+
+        Customers arriving before the horizon are all served (the server
+        keeps working past the horizon), so Little's law holds exactly over
+        the measured population.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        rng = self._rng
+        arrivals: List[float] = []
+        t = rng.expovariate(self.arrival_rate)
+        while t < horizon_s:
+            arrivals.append(t)
+            t += rng.expovariate(self.arrival_rate)
+
+        result = QueueSimResult()
+        # Step-function integration of queue length over time.
+        events: List[Tuple[float, int]] = []  # (time, +1 join / -1 leave)
+        server_free_at = 0.0
+        for arr in arrivals:
+            start = max(arr, server_free_at)
+            result.waits.append(start - arr)
+            result.departures.append(start)
+            events.append((arr, +1))
+            events.append((start, -1))
+            server_free_at = start + rng.expovariate(self.service_rate)
+
+        if events:
+            heapq.heapify(events)
+            area = 0.0
+            queue_len = 0
+            prev_t = 0.0
+            end_t = max(t for t, _ in events)
+            while events:
+                et, delta = heapq.heappop(events)
+                area += queue_len * (et - prev_t)
+                queue_len += delta
+                prev_t = et
+            span = max(end_t, horizon_s)
+            result.time_avg_queue_length = area / span if span > 0 else 0.0
+        return result

@@ -1,0 +1,56 @@
+"""M/M/c analytics (Erlang C) used to design simulator workloads.
+
+The city simulator needs arrival/service rates per queue spot that yield
+the four queue regimes of paper Table 3 (taxi queue and/or passenger queue).
+Closed-form M/M/c results let the workload designer choose rates with known
+expected queue lengths instead of trial and error.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def utilisation(arrival_rate: float, service_rate: float, servers: int = 1) -> float:
+    """Offered load per server: ``rho = lambda / (c * mu)``.
+
+    Raises:
+        ValueError: for non-positive rates or server count.
+    """
+    if arrival_rate <= 0 or service_rate <= 0 or servers <= 0:
+        raise ValueError("rates and server count must be positive")
+    return arrival_rate / (servers * service_rate)
+
+
+def erlang_c(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Probability an arriving customer must wait (Erlang C formula).
+
+    Raises:
+        ValueError: when the system is unstable (rho >= 1).
+    """
+    rho = utilisation(arrival_rate, service_rate, servers)
+    if rho >= 1.0:
+        raise ValueError("unstable system: utilisation must be below 1")
+    a = arrival_rate / service_rate  # offered load in Erlangs
+    summation = sum(a**k / math.factorial(k) for k in range(servers))
+    top = a**servers / (math.factorial(servers) * (1.0 - rho))
+    return top / (summation + top)
+
+
+def mmc_mean_wait(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean time in queue (excluding service) for M/M/c, in seconds."""
+    c_prob = erlang_c(arrival_rate, service_rate, servers)
+    rho = utilisation(arrival_rate, service_rate, servers)
+    return c_prob / (servers * service_rate * (1.0 - rho))
+
+
+def mmc_mean_queue_length(
+    arrival_rate: float, service_rate: float, servers: int
+) -> float:
+    """Mean number waiting in queue for M/M/c (by Little's law)."""
+    return arrival_rate * mmc_mean_wait(arrival_rate, service_rate, servers)
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean queueing delay of M/M/1: ``rho / (mu - lambda)``."""
+    return mmc_mean_wait(arrival_rate, service_rate, servers=1)

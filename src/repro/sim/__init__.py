@@ -1,0 +1,57 @@
+"""City and taxi-fleet simulator: the data substrate of this reproduction.
+
+The paper evaluates on proprietary MDT logs from ~15,000 Singapore taxis.
+This package replaces that dataset with a discrete-event simulator that
+produces logs with the same event-driven semantics:
+
+* a synthetic 50 km x 26 km city with four zones and a landmark inventory
+  matching paper Table 4's category mix (:mod:`repro.sim.city`);
+* per-landmark, time-of-day demand profiles for passenger arrivals, taxi
+  supply, street hails and bookings (:mod:`repro.sim.demand`);
+* queue spots modelled as two-sided FIFO matching queues with boarding
+  bays, so taxi queues and passenger queues emerge from arrival/service
+  imbalance exactly as section 3 defines them (:mod:`repro.sim.fleet`);
+* the full 11-state MDT machine per taxi, with event-driven log records
+  (:mod:`repro.sim.taxi`);
+* the validation side-channels of section 6.2.2 — an independent vehicle
+  monitor and a booking backend that records failed bookings
+  (:mod:`repro.sim.monitor`, part of the fleet simulator);
+* log-noise injection reproducing the three error classes of section
+  6.1.1 (:mod:`repro.sim.noise`);
+* full ground truth (true spot locations, per-slot queue lengths and
+  C1..C4 labels) for accuracy evaluation (:mod:`repro.sim.ground_truth`).
+"""
+
+from repro.sim.config import SimulationConfig, NoiseConfig, DayKind, day_kind_of
+from repro.sim.landmarks import Landmark, LandmarkCategory
+from repro.sim.city import City
+from repro.sim.demand import DemandModel, SpotRates
+from repro.sim.ground_truth import GroundTruth, SpotTruth, TrueSlot
+from repro.sim.fleet import FleetSimulator, SimulationOutput, simulate_day
+from repro.sim.noise import NoiseInjector
+from repro.sim.monitor import MonitorReading, VehicleMonitor
+from repro.sim.scenarios import SCENARIOS, build_scenario, scenario_names
+
+__all__ = [
+    "SimulationConfig",
+    "NoiseConfig",
+    "DayKind",
+    "day_kind_of",
+    "Landmark",
+    "LandmarkCategory",
+    "City",
+    "DemandModel",
+    "SpotRates",
+    "GroundTruth",
+    "SpotTruth",
+    "TrueSlot",
+    "FleetSimulator",
+    "SimulationOutput",
+    "simulate_day",
+    "NoiseInjector",
+    "MonitorReading",
+    "VehicleMonitor",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+]

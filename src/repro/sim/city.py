@@ -1,0 +1,265 @@
+"""The synthetic city: geography, zones, water and the landmark inventory.
+
+A Singapore-sized rectangle (~50 km x 26 km, the extent section 6.1.3
+quotes) centred near the real island's coordinates, partitioned into the
+four zones of Fig. 5, with a few water rectangles (inaccessible zones used
+by GPS-error cleaning) and a generated landmark inventory whose category
+mix follows paper Table 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.bbox import BBox
+from repro.geo.point import LocalProjection, equirectangular_m
+from repro.geo.zones import ZonePartition, four_zone_partition
+from repro.sim.landmarks import (
+    Landmark,
+    LandmarkCategory,
+    TABLE4_SHARES,
+    ZONE_PLACEMENT_WEIGHTS,
+)
+
+#: Default city rectangle: ~50 km x 26 km around Singapore's centroid.
+DEFAULT_CITY_BBOX = BBox(103.5954, 1.2351, 104.0446, 1.4689)
+
+#: Landmark names per category, cycled with an index suffix.
+_NAME_STEMS = {
+    LandmarkCategory.MRT_BUS: "MRT/Bus Interchange",
+    LandmarkCategory.MALL_HOTEL: "Shopping Plaza",
+    LandmarkCategory.OFFICE: "Office Tower",
+    LandmarkCategory.HOSPITAL_SCHOOL: "Hospital/Campus",
+    LandmarkCategory.TOURIST: "Attraction",
+    LandmarkCategory.AIRPORT_FERRY: "Air/Ferry Terminal",
+    LandmarkCategory.INDUSTRIAL_RESIDENTIAL: "Estate Hub",
+    LandmarkCategory.LEISURE_PARK: "Leisure Park",
+    LandmarkCategory.NONE: "Unnamed Corner",
+}
+
+#: Minimum separation between queue-spot landmarks in metres, so DBSCAN
+#: at eps = 15 m can never merge two distinct ground-truth spots.
+MIN_SPOT_SEPARATION_M = 400.0
+
+
+@dataclass
+class City:
+    """City geography plus the landmark inventory.
+
+    Attributes:
+        bbox: the city rectangle.
+        zones: the Central/North/West/East partition (Fig. 5).
+        water: inaccessible rectangles (sea inlets, reservoirs); GPS fixes
+            inside them are treated as urban-canyon errors by cleaning.
+        landmarks: every landmark, queue-spot hosts and decoys alike.
+    """
+
+    bbox: BBox
+    zones: ZonePartition
+    water: List[BBox]
+    landmarks: List[Landmark]
+    hail_hotspots: List[Tuple[float, float]] = field(default_factory=list)
+    """Popular roadside stretches where street hails cluster loosely.
+
+    Pickups there are dispersed over tens of metres — dense enough that
+    permissive DBSCAN parameters (large eps, small minPts) start admitting
+    them as insignificant queue spots, which is exactly the behaviour
+    paper Fig. 6 reports.
+    """
+
+    @property
+    def projection(self) -> LocalProjection:
+        """Metre-plane projection centred on the city."""
+        lon, lat = self.bbox.center
+        return LocalProjection(lon, lat)
+
+    @property
+    def queue_spot_landmarks(self) -> List[Landmark]:
+        """Landmarks that host real queue activity (ground-truth spots)."""
+        return [lm for lm in self.landmarks if lm.hosts_queue_spot]
+
+    @property
+    def decoy_landmarks(self) -> List[Landmark]:
+        """Landmarks without queue activity."""
+        return [lm for lm in self.landmarks if not lm.hosts_queue_spot]
+
+    def is_accessible(self, lon: float, lat: float) -> bool:
+        """True when the point is on land inside the city."""
+        if not self.bbox.contains(lon, lat):
+            return False
+        return not any(w.contains(lon, lat) for w in self.water)
+
+    def random_land_point(
+        self, rng: random.Random, zone: Optional[str] = None
+    ) -> Tuple[float, float]:
+        """Uniform random accessible point, optionally within one zone.
+
+        Raises:
+            RuntimeError: if no accessible point is found in 1000 draws
+                (indicates a degenerate water layout).
+        """
+        box = self.zones.zone_named(zone).bbox if zone else self.bbox
+        for _ in range(1000):
+            lon = rng.uniform(box.west, box.east)
+            lat = rng.uniform(box.south, box.north)
+            if self.is_accessible(lon, lat):
+                return lon, lat
+        raise RuntimeError("could not sample an accessible point")
+
+    def zone_of(self, lon: float, lat: float) -> str:
+        """Zone name of a point (nearest zone for out-of-bbox points)."""
+        return self.zones.classify_or_nearest(lon, lat)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 7,
+        n_queue_spots: int = 60,
+        n_decoys: int = 40,
+        bbox: BBox = DEFAULT_CITY_BBOX,
+    ) -> "City":
+        """Generate a city with a Table 4-faithful landmark inventory.
+
+        The queue-spot landmarks follow :data:`TABLE4_SHARES` (at least one
+        airport), are biased towards zones per
+        :data:`ZONE_PLACEMENT_WEIGHTS` (Central gets the most, as in
+        Fig. 8), keep :data:`MIN_SPOT_SEPARATION_M` between each other, and
+        include one weekend-only leisure park in the West zone
+        (section 7.2's sporadic spot).
+        """
+        rng = random.Random(seed)
+        zones = four_zone_partition(bbox)
+        water = _default_water(bbox)
+        city = cls(bbox=bbox, zones=zones, water=water, landmarks=[])
+
+        categories = _category_plan(rng, n_queue_spots)
+        spots: List[Landmark] = []
+        counter = 0
+        for category in categories:
+            lon, lat = _place_landmark(city, rng, category, spots)
+            zone = zones.classify_or_nearest(lon, lat)
+            weekend_only = category is LandmarkCategory.LEISURE_PARK
+            counter += 1
+            spots.append(
+                Landmark(
+                    landmark_id=f"LM{counter:03d}",
+                    name=f"{_NAME_STEMS[category]} #{counter}",
+                    category=category,
+                    lon=lon,
+                    lat=lat,
+                    zone=zone,
+                    hosts_queue_spot=True,
+                    weekend_only=weekend_only,
+                )
+            )
+
+        decoys: List[Landmark] = []
+        decoy_cats = [
+            c
+            for c in LandmarkCategory
+            if c not in (LandmarkCategory.NONE, LandmarkCategory.LEISURE_PARK)
+        ]
+        for _ in range(n_decoys):
+            category = rng.choice(decoy_cats)
+            lon, lat = _place_landmark(city, rng, category, spots + decoys)
+            counter += 1
+            decoys.append(
+                Landmark(
+                    landmark_id=f"LM{counter:03d}",
+                    name=f"{_NAME_STEMS[category]} #{counter}",
+                    category=category,
+                    lon=lon,
+                    lat=lat,
+                    zone=zones.classify_or_nearest(lon, lat),
+                    hosts_queue_spot=False,
+                )
+            )
+
+        city.landmarks = spots + decoys
+        hotspot_rng = random.Random(seed * 31 + 5)
+        # Few enough that each accumulates ~20-40 observed quick pickups
+        # per day: below the paper's minPts=50 operating point, above the
+        # permissive minPts=25 setting of Fig. 6.
+        city.hail_hotspots = [
+            city.random_land_point(hotspot_rng) for _ in range(28)
+        ]
+        return city
+
+
+def _default_water(bbox: BBox) -> List[BBox]:
+    """A southern strait and a central reservoir, scaled to the bbox."""
+    lon_span = bbox.east - bbox.west
+    lat_span = bbox.north - bbox.south
+    strait = BBox(
+        bbox.west,
+        bbox.south,
+        bbox.west + lon_span * 0.35,
+        bbox.south + lat_span * 0.08,
+    )
+    reservoir = BBox(
+        bbox.west + lon_span * 0.46,
+        bbox.south + lat_span * 0.62,
+        bbox.west + lon_span * 0.54,
+        bbox.south + lat_span * 0.74,
+    )
+    return [strait, reservoir]
+
+
+def _category_plan(
+    rng: random.Random, n_queue_spots: int
+) -> List[LandmarkCategory]:
+    """Expand Table 4 shares into a concrete category list.
+
+    Guarantees at least one airport/ferry terminal and exactly one
+    weekend-only leisure park (replacing one industrial/residential slot).
+    """
+    plan: List[LandmarkCategory] = []
+    for category, share in TABLE4_SHARES.items():
+        plan.extend([category] * max(0, round(share * n_queue_spots)))
+    while len(plan) < n_queue_spots:
+        plan.append(LandmarkCategory.MRT_BUS)
+    while len(plan) > n_queue_spots:
+        plan.remove(LandmarkCategory.MRT_BUS)
+    if LandmarkCategory.AIRPORT_FERRY not in plan:
+        plan[0] = LandmarkCategory.AIRPORT_FERRY
+    # One sporadic leisure park (section 7.2).
+    replaceable = (
+        LandmarkCategory.INDUSTRIAL_RESIDENTIAL,
+        LandmarkCategory.MRT_BUS,
+    )
+    for i, category in enumerate(plan):
+        if category in replaceable:
+            plan[i] = LandmarkCategory.LEISURE_PARK
+            break
+    rng.shuffle(plan)
+    return plan
+
+
+def _place_landmark(
+    city: City,
+    rng: random.Random,
+    category: LandmarkCategory,
+    existing: Sequence[Landmark],
+) -> Tuple[float, float]:
+    """Sample a location for a landmark of a category.
+
+    Zone choice follows :data:`ZONE_PLACEMENT_WEIGHTS`; the point must be
+    accessible and at least :data:`MIN_SPOT_SEPARATION_M` away from every
+    existing landmark.
+    """
+    weights = ZONE_PLACEMENT_WEIGHTS[category]
+    zone_names = [z.name for z in city.zones]
+    for _ in range(2000):
+        zone = rng.choices(zone_names, weights=weights)[0]
+        lon, lat = city.random_land_point(rng, zone)
+        if all(
+            equirectangular_m(lon, lat, lm.lon, lm.lat) >= MIN_SPOT_SEPARATION_M
+            for lm in existing
+        ):
+            return lon, lat
+    raise RuntimeError(
+        f"could not place a {category} landmark with "
+        f"{MIN_SPOT_SEPARATION_M} m separation"
+    )

@@ -1,0 +1,319 @@
+"""Time-of-day demand and supply profiles per landmark category.
+
+The queue regimes of paper Table 3 emerge from the balance between three
+Poisson flows at each queue spot:
+
+* passenger arrivals (rate ``pax_per_s``),
+* FREE taxis deciding to queue at the spot (rate ``taxi_per_s``),
+* booking pickups at the spot (rate ``booking_per_s``),
+
+against the boarding-bay service rate (``1 / boarding_mean_s`` per bay).
+With boarding ~45 s a single bay serves ~80 pickups/hour; when both
+arrival flows exceed that, both queues grow concurrently (C1); when taxis
+outpace passengers a taxi queue forms (C3); the reverse gives a passenger
+queue (C2); and low flows on both sides give C4.
+
+Profiles are 24-entry hourly multiplier vectors per landmark category,
+with separate weekday/weekend shapes.  They are designed (not fitted) to
+produce the qualitative patterns the paper reports: commuter peaks at
+MRT stations, evening passenger queues at offices, round-the-clock taxi
+queues at the airport, the Lucky-Plaza Sunday pattern at malls
+(Table 9), and weekend-only activity at leisure parks (section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.config import DayKind, SimulationConfig
+from repro.sim.landmarks import Landmark, LandmarkCategory
+
+Profile = Tuple[float, ...]  # 24 hourly multipliers
+
+
+def _profile(base: float, bumps: Sequence[Tuple[int, int, float]]) -> Profile:
+    """Build a 24-hour multiplier vector.
+
+    Args:
+        base: floor multiplier applied to every hour.
+        bumps: ``(start_hour, end_hour, level)`` windows; the level replaces
+            the base inside ``[start_hour, end_hour)`` (later bumps win).
+    """
+    hours = [base] * 24
+    for start, end, level in bumps:
+        for h in range(start, end):
+            hours[h % 24] = level
+    return tuple(hours)
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Demand/supply shape of one landmark category.
+
+    ``pax_peak`` / ``taxi_peak`` are peak-hour arrival rates in events per
+    hour; the hourly vectors multiply them.  ``booking_frac`` scales the
+    additional booking-pickup flow as a fraction of the passenger rate.
+    ``bays`` is the number of concurrent boarding bays at the spot.
+    """
+
+    pax_peak: float
+    taxi_peak: float
+    pax_weekday: Profile
+    pax_weekend: Profile
+    taxi_weekday: Profile
+    taxi_weekend: Profile
+    booking_frac: float = 0.10
+    bays: int = 1
+
+
+def _mrt_bus() -> CategoryProfile:
+    # Commuter peaks near the bay service rate (~65/h at 55 s boarding):
+    # both queues build -> C1 at peaks; C4 overnight; C2 when the evening
+    # crush outruns taxi supply.
+    return CategoryProfile(
+        pax_peak=74.0,
+        taxi_peak=76.0,
+        pax_weekday=_profile(0.05, [(7, 10, 1.0), (11, 17, 0.35), (17, 21, 1.0), (21, 23, 0.25)]),
+        pax_weekend=_profile(0.05, [(9, 12, 0.45), (12, 21, 0.55), (21, 23, 0.25)]),
+        taxi_weekday=_profile(0.06, [(6, 7, 0.4), (7, 10, 1.0), (11, 17, 0.35), (17, 21, 0.95), (21, 23, 0.25)]),
+        taxi_weekend=_profile(0.06, [(9, 12, 0.45), (12, 21, 0.55), (21, 23, 0.25)]),
+        booking_frac=0.08,
+    )
+
+
+def _mall_hotel() -> CategoryProfile:
+    # The Lucky-Plaza pattern of Table 9: queues just after midnight
+    # (night-club crowd, then a leftover taxi queue), C4 until morning,
+    # C1/C2 alternating through the shopping peak, C4 late evening.
+    return CategoryProfile(
+        pax_peak=72.0,
+        taxi_peak=74.0,
+        pax_weekday=_profile(0.05, [(0, 1, 0.85), (10, 11, 0.3), (11, 20, 0.9), (20, 22, 0.25)]),
+        pax_weekend=_profile(0.05, [(0, 1, 0.95), (9, 11, 0.45), (11, 20, 1.05), (20, 22, 0.3)]),
+        taxi_weekday=_profile(0.06, [(0, 1, 0.95), (1, 2, 0.45), (10, 11, 0.3), (11, 20, 0.9), (20, 22, 0.25)]),
+        taxi_weekend=_profile(0.06, [(0, 1, 1.0), (1, 2, 0.5), (9, 11, 0.45), (11, 20, 1.05), (20, 22, 0.3)]),
+        booking_frac=0.12,
+    )
+
+
+def _office() -> CategoryProfile:
+    # Sharp weekday evening exodus with undersupplied taxis -> C2;
+    # quiet weekends.  High booking share feeds Table 8's failed bookings.
+    return CategoryProfile(
+        pax_peak=85.0,
+        taxi_peak=42.0,
+        pax_weekday=_profile(0.05, [(8, 10, 0.3), (12, 14, 0.25), (17, 21, 1.0)]),
+        pax_weekend=_profile(0.05, [(10, 18, 0.1)]),
+        taxi_weekday=_profile(0.06, [(8, 10, 0.55), (12, 14, 0.5), (17, 21, 0.95)]),
+        taxi_weekend=_profile(0.06, [(10, 18, 0.2)]),
+        booking_frac=0.25,
+        bays=2,
+    )
+
+
+def _hospital_school() -> CategoryProfile:
+    return CategoryProfile(
+        pax_peak=45.0,
+        taxi_peak=42.0,
+        pax_weekday=_profile(0.05, [(7, 9, 0.6), (9, 17, 0.75), (17, 19, 0.5)]),
+        pax_weekend=_profile(0.05, [(9, 17, 0.35)]),
+        taxi_weekday=_profile(0.06, [(7, 9, 0.65), (9, 17, 0.7), (17, 19, 0.5)]),
+        taxi_weekend=_profile(0.06, [(9, 17, 0.35)]),
+        booking_frac=0.15,
+    )
+
+
+def _tourist() -> CategoryProfile:
+    return CategoryProfile(
+        pax_peak=60.0,
+        taxi_peak=64.0,
+        pax_weekday=_profile(0.05, [(10, 18, 0.7), (18, 22, 0.9)]),
+        pax_weekend=_profile(0.05, [(10, 22, 1.05)]),
+        taxi_weekday=_profile(0.06, [(10, 18, 0.75), (18, 22, 0.95)]),
+        taxi_weekend=_profile(0.06, [(10, 22, 1.1)]),
+        booking_frac=0.08,
+    )
+
+
+def _airport_ferry() -> CategoryProfile:
+    # Round-the-clock flows with a persistent taxi oversupply: the classic
+    # airport taxi queue (C3/C1), and the highest daily pickup counts
+    # (paper Table 6: East zone is the busiest, driven by Changi).
+    return CategoryProfile(
+        pax_peak=60.0,
+        taxi_peak=80.0,
+        pax_weekday=_profile(0.30, [(6, 23, 0.85)]),
+        pax_weekend=_profile(0.35, [(6, 23, 0.95)]),
+        taxi_weekday=_profile(0.40, [(6, 23, 0.95)]),
+        taxi_weekend=_profile(0.40, [(6, 23, 1.0)]),
+        booking_frac=0.04,
+        bays=3,
+    )
+
+
+def _industrial_residential() -> CategoryProfile:
+    # Morning commute from housing estates with thin taxi supply -> C2
+    # in the morning, C4 otherwise.
+    return CategoryProfile(
+        pax_peak=55.0,
+        taxi_peak=30.0,
+        pax_weekday=_profile(0.05, [(6, 9, 1.0), (17, 20, 0.4)]),
+        pax_weekend=_profile(0.05, [(8, 12, 0.3)]),
+        taxi_weekday=_profile(0.06, [(6, 9, 0.6), (17, 20, 0.45)]),
+        taxi_weekend=_profile(0.06, [(8, 12, 0.3)]),
+        booking_frac=0.22,
+        bays=2,
+    )
+
+
+def _leisure_park() -> CategoryProfile:
+    # Weekend-only family destination (the sporadic spot of section 7.2);
+    # weekday rates are ~zero so no weekday spot is detected.
+    return CategoryProfile(
+        pax_peak=55.0,
+        taxi_peak=52.0,
+        pax_weekday=_profile(0.005, []),
+        pax_weekend=_profile(0.05, [(10, 19, 1.0)]),
+        taxi_weekday=_profile(0.005, []),
+        taxi_weekend=_profile(0.06, [(10, 19, 0.95)]),
+        booking_frac=0.10,
+    )
+
+
+def _unidentified() -> CategoryProfile:
+    # Busy corners without a named facility (5.6% in Table 4).
+    return CategoryProfile(
+        pax_peak=45.0,
+        taxi_peak=44.0,
+        pax_weekday=_profile(0.05, [(8, 22, 0.65)]),
+        pax_weekend=_profile(0.05, [(9, 22, 0.6)]),
+        taxi_weekday=_profile(0.06, [(8, 22, 0.63)]),
+        taxi_weekend=_profile(0.06, [(9, 22, 0.62)]),
+        booking_frac=0.10,
+    )
+
+
+CATEGORY_PROFILES: Dict[LandmarkCategory, CategoryProfile] = {
+    LandmarkCategory.MRT_BUS: _mrt_bus(),
+    LandmarkCategory.MALL_HOTEL: _mall_hotel(),
+    LandmarkCategory.OFFICE: _office(),
+    LandmarkCategory.HOSPITAL_SCHOOL: _hospital_school(),
+    LandmarkCategory.TOURIST: _tourist(),
+    LandmarkCategory.AIRPORT_FERRY: _airport_ferry(),
+    LandmarkCategory.INDUSTRIAL_RESIDENTIAL: _industrial_residential(),
+    LandmarkCategory.LEISURE_PARK: _leisure_park(),
+    LandmarkCategory.NONE: _unidentified(),
+}
+
+#: Hourly street-hail rate per zone (events/hour), weekday shape; weekends
+#: scale Central down and keep the rest (paper Fig 8's weekend dip).
+STREET_HAIL_ZONE_PEAK: Dict[str, float] = {
+    "Central": 450.0,
+    "North": 170.0,
+    "West": 180.0,
+    "East": 190.0,
+}
+
+_STREET_SHAPE_WEEKDAY = _profile(0.10, [(7, 10, 1.0), (10, 17, 0.5), (17, 22, 0.9), (22, 24, 0.3)])
+_STREET_SHAPE_WEEKEND = _profile(0.12, [(9, 22, 0.6), (22, 24, 0.35)])
+
+#: Background (off-spot) booking requests per hour, city-wide.
+_BOOKING_BG_PEAK = 200.0
+_BOOKING_BG_SHAPE = _profile(0.15, [(7, 10, 1.0), (17, 22, 0.95), (10, 17, 0.45)])
+
+#: Fraction of the fleet on duty per hour.
+_DUTY_SHAPE = _profile(0.45, [(6, 10, 0.85), (10, 17, 0.8), (17, 23, 0.85), (23, 24, 0.55)])
+
+
+@dataclass(frozen=True)
+class SpotRates:
+    """Instantaneous Poisson rates (per second) at one queue spot."""
+
+    pax_per_s: float
+    taxi_per_s: float
+    booking_per_s: float
+    bays: int
+
+
+class DemandModel:
+    """Evaluates all demand/supply rates for a configured day."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self._weekend = config.day_kind is not DayKind.WEEKDAY
+        self._sunday = config.day_kind is DayKind.SUNDAY
+        # Fleet scaling: profiles were designed for the default 1,500-taxi
+        # fleet; street/booking totals scale with fleet size so smaller
+        # test fleets stay self-consistent.  Spot rates do NOT scale: the
+        # paper's per-spot pickup volumes (Table 6) are absolute.
+        self._fleet_scale = config.fleet_size / 1500.0
+
+    # -- queue spots ---------------------------------------------------------
+
+    def spot_rates(self, landmark: Landmark, hour: int) -> SpotRates:
+        """Poisson rates at a spot for a given local hour (0..23)."""
+        if not 0 <= hour <= 23:
+            raise ValueError("hour must be in 0..23")
+        prof = CATEGORY_PROFILES[landmark.category]
+        if self._weekend:
+            pax_shape, taxi_shape = prof.pax_weekend, prof.taxi_weekend
+        else:
+            pax_shape, taxi_shape = prof.pax_weekday, prof.taxi_weekday
+        pax_rate = prof.pax_peak * pax_shape[hour]
+        taxi_rate = prof.taxi_peak * taxi_shape[hour]
+        if landmark.weekend_only and not self._weekend:
+            pax_rate *= 0.05
+            taxi_rate *= 0.05
+        # Sunday is slightly quieter than Saturday outside leisure spots
+        # (drives Fig 9's Sunday C4 rise).
+        if self._sunday and landmark.category not in (
+            LandmarkCategory.LEISURE_PARK,
+            LandmarkCategory.TOURIST,
+            LandmarkCategory.AIRPORT_FERRY,
+        ):
+            # Markedly quieter than Saturday: both flows drop below the
+            # queue thresholds while enough pickups remain to label the
+            # slots (drives Fig. 9's Sunday C4 rise).
+            pax_rate *= 0.62
+            taxi_rate *= 0.68
+        booking_rate = pax_rate * prof.booking_frac
+        return SpotRates(
+            pax_per_s=pax_rate / 3600.0,
+            taxi_per_s=taxi_rate / 3600.0,
+            booking_per_s=booking_rate / 3600.0,
+            bays=prof.bays,
+        )
+
+    def spot_daily_pax(self, landmark: Landmark) -> float:
+        """Expected passenger arrivals at the spot over the whole day."""
+        return sum(
+            self.spot_rates(landmark, h).pax_per_s * 3600.0 for h in range(24)
+        )
+
+    # -- city-wide flows -----------------------------------------------------
+
+    def street_hail_rate(self, zone: str, hour: int) -> float:
+        """Street-hail Poisson rate (per second) in a zone at an hour."""
+        peak = STREET_HAIL_ZONE_PEAK.get(zone, 200.0)
+        shape = _STREET_SHAPE_WEEKEND if self._weekend else _STREET_SHAPE_WEEKDAY
+        rate = peak * shape[hour] * self._fleet_scale
+        if self._weekend and zone == "Central":
+            rate *= 0.75
+        return rate / 3600.0
+
+    def background_booking_rate(self, hour: int) -> float:
+        """Off-spot booking-request rate (per second), city-wide."""
+        rate = _BOOKING_BG_PEAK * _BOOKING_BG_SHAPE[hour] * self._fleet_scale
+        if self._weekend:
+            rate *= 0.8
+        return rate / 3600.0
+
+    def duty_fraction(self, hour: int) -> float:
+        """Fraction of the fleet on duty at an hour."""
+        return _DUTY_SHAPE[hour]
+
+
+def hourly_table(model: DemandModel, landmark: Landmark) -> List[SpotRates]:
+    """The 24 hourly :class:`SpotRates` of a landmark (for inspection)."""
+    return [model.spot_rates(landmark, h) for h in range(24)]

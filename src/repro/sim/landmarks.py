@@ -1,0 +1,91 @@
+"""Landmark inventory: the facilities queue spots sit next to.
+
+Paper Table 4 classifies detected queue spots by their nearby facility:
+
+    MRT & bus station               48.3%
+    Shopping mall & hotel           11.8%
+    Office building                  9.6%
+    Hospital & school                8.4%
+    Tourist attraction               6.2%
+    Airport & ferry terminal         5.6%
+    Industrial & residential area    4.5%
+    Unidentified                     5.6%
+
+The synthetic city instantiates landmarks with this category mix (the
+"Unidentified" share becomes queue spots with no landmark nearby), plus
+decoy landmarks that host no queue activity and a weekend-only leisure
+park reproducing the sporadic-spot finding of section 7.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class LandmarkCategory(enum.Enum):
+    """Facility categories of paper Table 4 (plus the leisure park of
+    section 7.2's sporadic-spot finding)."""
+
+    MRT_BUS = "MRT & BUS station"
+    MALL_HOTEL = "Shopping Mall & Hotel"
+    OFFICE = "Office Building"
+    HOSPITAL_SCHOOL = "Hospital & School"
+    TOURIST = "Tourist Attraction"
+    AIRPORT_FERRY = "Airport & Ferry Terminal"
+    INDUSTRIAL_RESIDENTIAL = "Industrial and Residential Area"
+    LEISURE_PARK = "Leisure Park"
+    NONE = "Unidentified"
+
+
+#: Table 4 category shares among queue spots (NONE = "Unidentified").
+TABLE4_SHARES: Dict[LandmarkCategory, float] = {
+    LandmarkCategory.MRT_BUS: 0.483,
+    LandmarkCategory.MALL_HOTEL: 0.118,
+    LandmarkCategory.OFFICE: 0.096,
+    LandmarkCategory.HOSPITAL_SCHOOL: 0.084,
+    LandmarkCategory.TOURIST: 0.062,
+    LandmarkCategory.AIRPORT_FERRY: 0.056,
+    LandmarkCategory.INDUSTRIAL_RESIDENTIAL: 0.045,
+    LandmarkCategory.NONE: 0.056,
+}
+
+#: How category placement is biased towards the four zones
+#: (Central, North, West, East); rows needn't be normalised.
+ZONE_PLACEMENT_WEIGHTS: Dict[LandmarkCategory, Tuple[float, float, float, float]] = {
+    LandmarkCategory.MRT_BUS: (4.0, 2.0, 2.0, 2.0),
+    LandmarkCategory.MALL_HOTEL: (6.0, 1.0, 1.0, 1.0),
+    LandmarkCategory.OFFICE: (8.0, 0.5, 0.5, 0.5),
+    LandmarkCategory.HOSPITAL_SCHOOL: (2.0, 2.0, 2.0, 2.0),
+    LandmarkCategory.TOURIST: (6.0, 0.5, 0.5, 1.0),
+    LandmarkCategory.AIRPORT_FERRY: (0.2, 0.2, 0.2, 6.0),
+    LandmarkCategory.INDUSTRIAL_RESIDENTIAL: (0.5, 2.0, 3.0, 2.0),
+    LandmarkCategory.LEISURE_PARK: (0.0, 0.5, 3.0, 0.5),
+    LandmarkCategory.NONE: (2.0, 1.0, 1.0, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """A named facility that may anchor a queue spot.
+
+    Attributes:
+        landmark_id: stable identifier, e.g. ``"LM012"``.
+        name: human-readable name used in reports/UI.
+        category: Table 4 facility category.
+        lon, lat: location in degrees.
+        zone: the zone the landmark falls in (Central/North/West/East).
+        hosts_queue_spot: True for landmarks with real queue activity.
+        weekend_only: True for the sporadic leisure-park style spots that
+            only see demand on weekends (section 7.2).
+    """
+
+    landmark_id: str
+    name: str
+    category: LandmarkCategory
+    lon: float
+    lat: float
+    zone: str
+    hosts_queue_spot: bool = True
+    weekend_only: bool = False

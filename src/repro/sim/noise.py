@@ -1,0 +1,129 @@
+"""Log-noise injection reproducing the error classes of section 6.1.1.
+
+Real MDT logs contain (1) improper/missing taxi states, (2) duplicated
+records from GPRS re-transmission and (3) GPS coordinate errors, jointly
+~2.8% of all records.  The injector transforms each taxi's clean record
+stream into a realistically dirty one:
+
+* everyday GPS jitter (a few metres; not an error, just sensor noise);
+* a spurious ``PAYMENT -> FREE -> PAYMENT`` stutter — the paper attributes
+  this exact pattern to a clock-synchronisation bug between old MDTs and
+  the taximeter (error class 1);
+* randomly dropped ARRIVED/STC records (missing intermediate states —
+  tolerated by the observable transition diagram, as in the real system);
+* exact duplicate records (error class 2);
+* large GPS outliers, possibly off-island or in water (error class 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.geo.point import destination_point
+from repro.sim.config import NoiseConfig
+from repro.states.states import TaxiState
+from repro.trace.record import MdtRecord
+
+
+class NoiseInjector:
+    """Applies :class:`~repro.sim.config.NoiseConfig` to record streams."""
+
+    def __init__(self, config: NoiseConfig, seed: int = 0):
+        self.config = config
+        self._rng = random.Random(seed)
+
+    def apply(self, records: List[MdtRecord]) -> List[MdtRecord]:
+        """Return a noisy copy of one taxi's time-ordered records."""
+        if not self.config.enabled:
+            return list(records)
+        noisy = self._drop_intermediate(records)
+        noisy = [self._jitter(rec) for rec in noisy]
+        noisy = self._insert_spurious_free(noisy)
+        noisy = self._outliers(noisy)
+        return self._duplicate(noisy)
+
+    # -- individual noise channels ------------------------------------------
+
+    def _jitter(self, rec: MdtRecord) -> MdtRecord:
+        sigma = self.config.gps_jitter_m
+        if sigma <= 0:
+            return rec
+        rng = self._rng
+        bearing = rng.uniform(0.0, 360.0)
+        dist = abs(rng.gauss(0.0, sigma))
+        lon, lat = destination_point(rec.lon, rec.lat, bearing, dist)
+        return MdtRecord(rec.ts, rec.taxi_id, lon, lat, rec.speed, rec.state)
+
+    def _drop_intermediate(self, records: List[MdtRecord]) -> List[MdtRecord]:
+        rng = self._rng
+        out: List[MdtRecord] = []
+        for rec in records:
+            if rec.state is TaxiState.ARRIVED and rng.random() < self.config.drop_arrived_prob:
+                continue
+            if rec.state is TaxiState.STC and rng.random() < self.config.drop_stc_prob:
+                continue
+            out.append(rec)
+        return out
+
+    def _insert_spurious_free(self, records: List[MdtRecord]) -> List[MdtRecord]:
+        rng = self._rng
+        out: List[MdtRecord] = []
+        for rec in records:
+            out.append(rec)
+            if (
+                rec.state is TaxiState.PAYMENT
+                and rng.random() < self.config.spurious_free_prob
+            ):
+                out.append(
+                    MdtRecord(
+                        rec.ts + 2.0, rec.taxi_id, rec.lon, rec.lat, 0.0,
+                        TaxiState.FREE,
+                    )
+                )
+                out.append(
+                    MdtRecord(
+                        rec.ts + 4.0, rec.taxi_id, rec.lon, rec.lat, 0.0,
+                        TaxiState.PAYMENT,
+                    )
+                )
+        return out
+
+    def _outliers(self, records: List[MdtRecord]) -> List[MdtRecord]:
+        rng = self._rng
+        out: List[MdtRecord] = []
+        for rec in records:
+            if rng.random() < self.config.gps_outlier_prob:
+                bearing = rng.uniform(0.0, 360.0)
+                dist = self.config.gps_outlier_km * 1000.0 * rng.uniform(0.6, 1.4)
+                lon, lat = destination_point(rec.lon, rec.lat, bearing, dist)
+                rec = MdtRecord(rec.ts, rec.taxi_id, lon, lat, rec.speed, rec.state)
+            out.append(rec)
+        return out
+
+    def _duplicate(self, records: List[MdtRecord]) -> List[MdtRecord]:
+        rng = self._rng
+        out: List[MdtRecord] = []
+        for rec in records:
+            out.append(rec)
+            if rng.random() < self.config.duplicate_prob:
+                out.append(rec)  # exact GPRS re-transmission
+        return out
+
+
+def expected_error_fraction(config: NoiseConfig, payment_fraction: float = 0.035) -> float:
+    """Back-of-envelope expected fraction of *removable* error records.
+
+    Args:
+        config: the noise configuration.
+        payment_fraction: fraction of records that are PAYMENT records
+            (approximately trips/records).
+
+    Returns:
+        Expected fraction of records the cleaning stage should remove;
+        useful for sanity checks against the paper's 2.8%.
+    """
+    spurious = payment_fraction * config.spurious_free_prob  # 1 of the 2 inserted
+    duplicates = config.duplicate_prob
+    outliers = config.gps_outlier_prob * 0.8  # most, not all, leave the city
+    return spurious + duplicates + outliers

@@ -1,0 +1,243 @@
+"""An optional road-network substrate for the simulator.
+
+By default simulated taxis move in straight lines — adequate for the
+analytics (which only see GPS points), but it produces occasional fixes
+over water and unrealistically direct paths.  With
+``SimulationConfig(use_road_network=True)`` the fleet routes every
+driving leg over a generated road graph instead:
+
+* a perturbed grid of nodes (~spacing_m apart) covering the accessible
+  part of the city — water rectangles get no nodes, so routes go around
+  them;
+* 4-neighbour edges plus a sparse set of diagonals (arterial shortcuts);
+* A* shortest paths by edge length, with an LRU cache over node pairs.
+
+The graph lives in :mod:`networkx`; route geometry is returned as lon/lat
+waypoint lists that :meth:`TaxiAgent.emit_drive_route` interpolates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.geo.point import equirectangular_m
+from repro.sim.city import City
+
+Waypoint = Tuple[float, float]
+
+
+class RoadNetwork:
+    """A routable road graph over a city.
+
+    Args:
+        city: the city geography (nodes avoid its water rectangles).
+        spacing_m: grid spacing between road nodes.
+        seed: RNG seed for node perturbation and diagonal selection.
+    """
+
+    def __init__(self, city: City, spacing_m: float = 800.0, seed: int = 7):
+        if spacing_m <= 0:
+            raise ValueError("spacing must be positive")
+        self.city = city
+        self.spacing_m = spacing_m
+        self._graph = nx.Graph()
+        self._build(random.Random(f"roads:{seed}"))
+        # Per-instance cache (lru_cache on a bound method would leak the
+        # instance; wrap a local function instead).
+        self._route_nodes = lru_cache(maxsize=4096)(self._route_nodes_impl)
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self, rng: random.Random) -> None:
+        bbox = self.city.bbox
+        lat_step = self.spacing_m / 111_000.0
+        lon_step = self.spacing_m / (
+            111_000.0 * math.cos(math.radians((bbox.south + bbox.north) / 2))
+        )
+        self._lon_step = lon_step
+        self._lat_step = lat_step
+        nodes: Dict[Tuple[int, int], Waypoint] = {}
+        i = 0
+        lon = bbox.west
+        while lon <= bbox.east:
+            j = 0
+            lat = bbox.south
+            while lat <= bbox.north:
+                if self.city.is_accessible(lon, lat):
+                    # Perturb so the grid doesn't look synthetic; keep the
+                    # node on land.
+                    plon = lon + rng.uniform(-0.15, 0.15) * lon_step
+                    plat = lat + rng.uniform(-0.15, 0.15) * lat_step
+                    if not self.city.is_accessible(plon, plat):
+                        plon, plat = lon, lat
+                    nodes[(i, j)] = (plon, plat)
+                lat += lat_step
+                j += 1
+            lon += lon_step
+            i += 1
+        self._nodes = nodes
+        for (i, j), (lon1, lat1) in nodes.items():
+            self._graph.add_node((i, j), lon=lon1, lat=lat1)
+        for (i, j), (lon1, lat1) in nodes.items():
+            neighbours = [(i + 1, j), (i, j + 1)]
+            if rng.random() < 0.25:
+                neighbours.append((i + 1, j + 1))
+            if rng.random() < 0.25:
+                neighbours.append((i + 1, j - 1))
+            for key in neighbours:
+                if key in nodes:
+                    lon2, lat2 = nodes[key]
+                    self._graph.add_edge(
+                        (i, j),
+                        key,
+                        length=equirectangular_m(lon1, lat1, lon2, lat2),
+                    )
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._graph
+
+    @property
+    def node_count(self) -> int:
+        return self._graph.number_of_nodes()
+
+    # -- routing -------------------------------------------------------------
+
+    def nearest_node(self, lon: float, lat: float) -> Tuple[int, int]:
+        """Grid key of the road node nearest to a point.
+
+        Raises:
+            ValueError: when the network has no nodes.
+        """
+        if not self._nodes:
+            raise ValueError("road network has no nodes")
+        bbox = self.city.bbox
+        i = round((lon - bbox.west) / self._lon_step)
+        j = round((lat - bbox.south) / self._lat_step)
+        # Search outward from the snapped cell (water gaps leave holes).
+        for radius in range(0, 8):
+            best: Optional[Tuple[int, int]] = None
+            best_d = float("inf")
+            for di in range(-radius, radius + 1):
+                for dj in range(-radius, radius + 1):
+                    if max(abs(di), abs(dj)) != radius:
+                        continue
+                    key = (i + di, j + dj)
+                    point = self._nodes.get(key)
+                    if point is None:
+                        continue
+                    d = equirectangular_m(lon, lat, point[0], point[1])
+                    if d < best_d:
+                        best, best_d = key, d
+            if best is not None:
+                return best
+        # Degenerate geography: fall back to a full scan.
+        return min(
+            self._nodes,
+            key=lambda key: equirectangular_m(
+                lon, lat, self._nodes[key][0], self._nodes[key][1]
+            ),
+        )
+
+    def _route_nodes_impl(
+        self, a: Tuple[int, int], b: Tuple[int, int]
+    ) -> Tuple[Tuple[int, int], ...]:
+        def heuristic(u, v):
+            lon1, lat1 = self._nodes[u]
+            lon2, lat2 = self._nodes[v]
+            return equirectangular_m(lon1, lat1, lon2, lat2)
+
+        try:
+            path = nx.astar_path(
+                self._graph, a, b, heuristic=heuristic, weight="length"
+            )
+        except nx.NetworkXNoPath:
+            path = [a, b]  # disconnected pocket: degrade to straight line
+        return tuple(path)
+
+    def route(
+        self, lon1: float, lat1: float, lon2: float, lat2: float
+    ) -> List[Waypoint]:
+        """Waypoints from one point to another along the roads.
+
+        The returned polyline starts at the exact origin and ends at the
+        exact destination, with road nodes in between.
+        """
+        a = self.nearest_node(lon1, lat1)
+        b = self.nearest_node(lon2, lat2)
+        waypoints: List[Waypoint] = [(lon1, lat1)]
+        waypoints.extend(self._nodes[key] for key in self._route_nodes(a, b))
+        waypoints.append((lon2, lat2))
+        return waypoints
+
+    @staticmethod
+    def path_length_m(waypoints: List[Waypoint]) -> float:
+        """Total polyline length in metres."""
+        return sum(
+            equirectangular_m(a[0], a[1], b[0], b[1])
+            for a, b in zip(waypoints, waypoints[1:])
+        )
+
+    def travel(
+        self, lon1: float, lat1: float, lon2: float, lat2: float,
+        speed_kmh: float,
+    ) -> Tuple[List[Waypoint], float]:
+        """Route plus its driving time at a given speed.
+
+        Returns:
+            ``(waypoints, seconds)`` with a 20 s floor on the time.
+        """
+        waypoints = self.route(lon1, lat1, lon2, lat2)
+        seconds = self.path_length_m(waypoints) / (speed_kmh / 3.6)
+        return waypoints, max(20.0, seconds)
+
+    def detour_factor(
+        self, lon1: float, lat1: float, lon2: float, lat2: float
+    ) -> float:
+        """Route length over straight-line distance (>= ~1)."""
+        direct = equirectangular_m(lon1, lat1, lon2, lat2)
+        if direct < 1.0:
+            return 1.0
+        return self.path_length_m(self.route(lon1, lat1, lon2, lat2)) / direct
+
+
+def split_polyline(
+    waypoints: List[Waypoint], fraction: float
+) -> Tuple[List[Waypoint], List[Waypoint]]:
+    """Split a polyline at an arc-length fraction.
+
+    Returns ``(head, tail)``; the split point (linearly interpolated on
+    its segment) ends the head and starts the tail.
+
+    Raises:
+        ValueError: for a fraction outside (0, 1) or fewer than 2 points.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be strictly between 0 and 1")
+    if len(waypoints) < 2:
+        raise ValueError("polyline needs at least two waypoints")
+    lengths = [
+        equirectangular_m(a[0], a[1], b[0], b[1])
+        for a, b in zip(waypoints, waypoints[1:])
+    ]
+    total = sum(lengths)
+    if total <= 0:
+        return list(waypoints), [waypoints[-1], waypoints[-1]]
+    target = total * fraction
+    walked = 0.0
+    for i, seg_len in enumerate(lengths):
+        if walked + seg_len >= target:
+            frac = 0.0 if seg_len <= 0 else (target - walked) / seg_len
+            (lon1, lat1), (lon2, lat2) = waypoints[i], waypoints[i + 1]
+            mid = (lon1 + (lon2 - lon1) * frac, lat1 + (lat2 - lat1) * frac)
+            head = list(waypoints[: i + 1]) + [mid]
+            tail = [mid] + list(waypoints[i + 1 :])
+            return head, tail
+        walked += seg_len
+    return list(waypoints), [waypoints[-1], waypoints[-1]]

@@ -1,0 +1,306 @@
+"""Per-taxi agent: state bookkeeping and event-driven record emission.
+
+Every taxi owns its MDT record buffer and emits records exactly the way
+section 2.3 describes the real device: a record on every state change,
+plus periodic GPS updates while moving and low-speed "crawl" records while
+inching forward in a queue.  The fleet simulator drives agents through the
+state machine; agents only know how to turn activity segments into
+plausible record sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.point import destination_point, equirectangular_m
+from repro.sim.config import SimulationConfig
+from repro.states.states import TaxiState
+from repro.trace.record import MdtRecord
+
+
+class TaxiStatus(enum.Enum):
+    """Coarse scheduling status used by the fleet simulator."""
+
+    OFF_DUTY = "off"
+    IDLE = "idle"
+    BUSY = "busy"
+
+
+class TaxiAgent:
+    """One simulated taxi.
+
+    Attributes:
+        taxi_id: e.g. ``"SH0042A"``.
+        lon, lat: last known position.
+        status: scheduling status (off-duty / idle / busy).
+        records: the MDT record buffer (clean; noise is injected later).
+        idle_since: when the current idle stretch began (None when not
+            idle); cruise records for the stretch are emitted lazily when
+            it ends.
+    """
+
+    def __init__(
+        self,
+        taxi_id: str,
+        lon: float,
+        lat: float,
+        config: SimulationConfig,
+        rng: random.Random,
+    ):
+        self.taxi_id = taxi_id
+        self.lon = lon
+        self.lat = lat
+        self.config = config
+        self.rng = rng
+        self.status = TaxiStatus.OFF_DUTY
+        self.records: List[MdtRecord] = []
+        self.idle_since: Optional[float] = None
+        self.shift_end_ts: float = math.inf
+        self.pending_break_s: float = 0.0
+
+    # -- low-level logging ---------------------------------------------------
+
+    def log(
+        self, ts: float, lon: float, lat: float, speed: float, state: TaxiState
+    ) -> None:
+        """Append one MDT record and update the taxi's position.
+
+        Records past the simulated day's end are silently dropped: the
+        paper's pipeline consumes daily log files, so activity crossing
+        midnight is truncated exactly as a daily export would be.
+        """
+        self.lon = lon
+        self.lat = lat
+        if ts >= self.config.day_end_ts:
+            return
+        self.records.append(
+            MdtRecord(ts, self.taxi_id, lon, lat, speed, state)
+        )
+
+    # -- movement segments ----------------------------------------------------
+
+    def travel_time_s(self, to_lon: float, to_lat: float) -> float:
+        """Driving time to a destination at the configured speed."""
+        dist = equirectangular_m(self.lon, self.lat, to_lon, to_lat)
+        speed_ms = self.config.drive_speed_kmh / 3.6
+        return max(20.0, dist / speed_ms)
+
+    def emit_drive(
+        self,
+        t0: float,
+        t1: float,
+        to_lon: float,
+        to_lat: float,
+        state: TaxiState,
+        allow_jam: bool = False,
+    ) -> None:
+        """Emit periodic GPS-update records for a driving leg.
+
+        Positions interpolate linearly from the current position to the
+        destination; speeds scatter around the leg's average.  With
+        ``allow_jam`` a traffic-jam crawl (consecutive low-speed records
+        with no state change — which PEA must discard) is inserted with
+        the configured probability.
+        """
+        if t1 <= t0:
+            self.lon, self.lat = to_lon, to_lat
+            return
+        rng = self.rng
+        from_lon, from_lat = self.lon, self.lat
+        duration = t1 - t0
+        interval = self.config.drive_record_interval_s
+        n_ticks = int(duration // interval)
+        jam_window: Optional[Tuple[float, float]] = None
+        if allow_jam and duration > 360 and rng.random() < self.config.jam_prob:
+            jam_start = t0 + rng.uniform(0.2, 0.6) * duration
+            jam_window = (jam_start, jam_start + rng.uniform(90.0, 200.0))
+        ticks = [t0 + k * interval for k in range(1, n_ticks + 1)]
+        if jam_window:
+            # Guarantee at least two in-jam records so the PEA filter for
+            # unchanged-state crawls is genuinely exercised.
+            mid = (jam_window[0] + jam_window[1]) / 2.0
+            ticks.extend([jam_window[0] + 5.0, mid])
+            ticks.sort()
+        for ts in ticks:
+            if not t0 < ts < t1:
+                continue
+            frac = (ts - t0) / duration
+            lon = from_lon + (to_lon - from_lon) * frac
+            lat = from_lat + (to_lat - from_lat) * frac
+            if jam_window and jam_window[0] <= ts <= jam_window[1]:
+                speed = rng.uniform(0.0, self.config.low_speed_max_kmh)
+            else:
+                speed = max(12.0, rng.gauss(self.config.drive_speed_kmh, 6.0))
+            self.log(ts, lon, lat, speed, state)
+        self.lon, self.lat = to_lon, to_lat
+
+    def emit_drive_route(
+        self,
+        t0: float,
+        t1: float,
+        waypoints: Sequence[Tuple[float, float]],
+        state: TaxiState,
+    ) -> None:
+        """Emit periodic GPS records along a road polyline.
+
+        Like :meth:`emit_drive` but positions interpolate along the
+        waypoint chain instead of the straight line, so records follow
+        roads (and never cross water) when the road network is enabled.
+        """
+        if t1 <= t0 or len(waypoints) < 2:
+            if waypoints:
+                self.lon, self.lat = waypoints[-1]
+            return
+        # Cumulative arc lengths along the polyline.
+        cumulative = [0.0]
+        for a, b in zip(waypoints, waypoints[1:]):
+            cumulative.append(
+                cumulative[-1] + equirectangular_m(a[0], a[1], b[0], b[1])
+            )
+        total = cumulative[-1]
+        rng = self.rng
+        interval = self.config.drive_record_interval_s
+        duration = t1 - t0
+        n_ticks = int(duration // interval)
+        for k in range(1, n_ticks + 1):
+            ts = t0 + k * interval
+            if ts >= t1:
+                break
+            target = total * (ts - t0) / duration
+            # Locate the segment containing the target arc length.
+            seg = 1
+            while seg < len(cumulative) - 1 and cumulative[seg] < target:
+                seg += 1
+            seg_len = cumulative[seg] - cumulative[seg - 1]
+            frac = 0.0 if seg_len <= 0 else (target - cumulative[seg - 1]) / seg_len
+            (lon1, lat1), (lon2, lat2) = waypoints[seg - 1], waypoints[seg]
+            lon = lon1 + (lon2 - lon1) * frac
+            lat = lat1 + (lat2 - lat1) * frac
+            speed = max(12.0, rng.gauss(self.config.drive_speed_kmh, 6.0))
+            self.log(ts, lon, lat, speed, state)
+        self.lon, self.lat = waypoints[-1]
+
+    def emit_crawl(
+        self,
+        spot_lon: float,
+        spot_lat: float,
+        t_join: float,
+        t_leave: float,
+        state_points: Sequence[Tuple[float, TaxiState]],
+        line_bearing_deg: Optional[float] = None,
+        start_offset_m: float = 0.0,
+    ) -> None:
+        """Emit queue-crawl records at a spot between join and leave.
+
+        ``state_points`` are ``(ts, state)`` change points, the first at
+        ``t_join``.  A record is emitted at every change point (the MDT is
+        event-driven) and on a periodic tick while waiting; all records
+        carry low speeds and positions jittered a few metres around the
+        spot, which is what makes PEA's two-consecutive-low-speed rule
+        fire.
+
+        With ``line_bearing_deg`` set, positions model a physical waiting
+        line: the taxi starts ``start_offset_m`` metres down the line and
+        inches towards the head as time passes.  This gives pickup-event
+        centroids the 10-20 m dispersion real taxi stands show (the paper
+        reports a 7.6 m mean location error and picks eps = 15 m).
+        """
+        if not state_points or state_points[0][0] > t_join:
+            raise ValueError("state_points must start at or before t_join")
+        rng = self.rng
+        interval = self.config.crawl_record_interval_s
+        wait = max(0.0, t_leave - t_join)
+        if wait > 1800.0:
+            # Long airport-style waits: thin the cadence to bound volume.
+            interval = wait / 40.0
+        ticks = [t_join]
+        t = t_join + interval
+        while t < t_leave - 1.0:
+            ticks.append(t)
+            t += interval
+        change_ts = [ts for ts, _ in state_points if t_join < ts <= t_leave]
+        all_ts = sorted(set(ticks + change_ts + [t_leave]))
+
+        def state_at(ts: float) -> TaxiState:
+            current = state_points[0][1]
+            for point_ts, point_state in state_points:
+                if point_ts <= ts:
+                    current = point_state
+                else:
+                    break
+            return current
+
+        span = max(1.0, t_leave - t_join)
+        for ts in all_ts:
+            if line_bearing_deg is not None and start_offset_m > 0:
+                remaining = max(0.0, 1.0 - (ts - t_join) / span)
+                lon, lat = destination_point(
+                    spot_lon, spot_lat, line_bearing_deg,
+                    start_offset_m * remaining,
+                )
+                lon, lat = destination_point(
+                    lon, lat, rng.uniform(0.0, 360.0), abs(rng.gauss(0.0, 4.0))
+                )
+            else:
+                bearing = rng.uniform(0.0, 360.0)
+                offset = abs(rng.gauss(0.0, 6.0))
+                lon, lat = destination_point(spot_lon, spot_lat, bearing, offset)
+            speed = rng.uniform(0.0, self.config.low_speed_max_kmh)
+            self.log(ts, lon, lat, speed, state_at(ts))
+        self.lon, self.lat = spot_lon, spot_lat
+
+    # -- idle handling ---------------------------------------------------------
+
+    def begin_idle(self, ts: float) -> None:
+        """Mark the taxi idle (cruising for street hails) from ``ts``."""
+        self.status = TaxiStatus.IDLE
+        self.idle_since = ts
+
+    def end_idle(self, ts: float) -> None:
+        """Close the idle stretch, emitting its FREE cruising records."""
+        if self.idle_since is None:
+            return
+        start = self.idle_since
+        self.idle_since = None
+        rng = self.rng
+        interval = self.config.cruise_record_interval_s
+        anchor_lon, anchor_lat = self.lon, self.lat
+        t = start + interval * rng.uniform(0.5, 1.0)
+        while t < ts - 5.0:
+            bearing = rng.uniform(0.0, 360.0)
+            radius = rng.uniform(0.0, 1200.0)
+            lon, lat = destination_point(anchor_lon, anchor_lat, bearing, radius)
+            self.log(t, lon, lat, rng.uniform(15.0, 45.0), TaxiState.FREE)
+            t += interval
+        self.lon, self.lat = anchor_lon, anchor_lat
+
+    # -- duty transitions --------------------------------------------------------
+
+    def power_on(self, ts: float) -> None:
+        """Emit the power-up sequence and become idle."""
+        self.log(ts, self.lon, self.lat, 0.0, TaxiState.POWEROFF)
+        self.log(ts + 4.0, self.lon, self.lat, 0.0, TaxiState.OFFLINE)
+        self.log(ts + 8.0, self.lon, self.lat, 0.0, TaxiState.BREAK)
+        self.log(ts + 12.0, self.lon, self.lat, 0.0, TaxiState.FREE)
+        self.begin_idle(ts + 12.0)
+
+    def power_off(self, ts: float) -> None:
+        """Emit the power-down sequence and go off duty."""
+        self.end_idle(ts)
+        self.log(ts, self.lon, self.lat, 0.0, TaxiState.BREAK)
+        self.log(ts + 4.0, self.lon, self.lat, 0.0, TaxiState.OFFLINE)
+        self.log(ts + 8.0, self.lon, self.lat, 0.0, TaxiState.POWEROFF)
+        self.status = TaxiStatus.OFF_DUTY
+        self.idle_since = None
+
+    def take_break(self, ts: float, duration_s: float) -> float:
+        """Emit a BREAK stretch; returns the timestamp the break ends."""
+        self.end_idle(ts)
+        self.status = TaxiStatus.BUSY
+        self.log(ts, self.lon, self.lat, 0.0, TaxiState.BREAK)
+        end = ts + duration_s
+        self.log(end, self.lon, self.lat, 0.0, TaxiState.FREE)
+        return end

@@ -1,0 +1,27 @@
+"""Streaming queue analytics: the paper's real-time future work.
+
+Section 1 motivates "real time queuing events information" for driver and
+commuter recommendations; the batch engine of :mod:`repro.core` processes
+daily files.  This package provides the online counterpart:
+
+* :mod:`repro.stream.pea_stream` — an incremental Algorithm 1: records
+  are fed one at a time and completed slow-pickup events pop out;
+* :mod:`repro.stream.monitor` — a live per-spot queue-context monitor:
+  given a known spot set and thresholds (from the batch tier), it consumes
+  a time-ordered record stream and emits a QCD label whenever a time slot
+  closes.
+
+The streaming path reuses the exact batch algorithms (WTE, the 5-tuple
+features, QCD); only the orchestration is incremental, so batch and
+stream agree on identical inputs (see ``tests/test_stream.py``).
+"""
+
+from repro.stream.pea_stream import PickupEvent, StreamingPea
+from repro.stream.monitor import SlotResult, StreamingQueueMonitor
+
+__all__ = [
+    "PickupEvent",
+    "StreamingPea",
+    "SlotResult",
+    "StreamingQueueMonitor",
+]

@@ -1,0 +1,159 @@
+"""MDT log preprocessing (paper section 6.1.1).
+
+The paper identifies three error classes in raw MDT logs, jointly ~2.8% of
+all records, and removes them before analysis:
+
+1. *Improper/missing taxi states* — state sequences that violate the
+   transition diagram of Fig. 3 (e.g. a spurious FREE between two PAYMENT
+   records, caused by a clock-synchronisation bug; or skipped intermediate
+   states such as ARRIVED/STC that drivers never pressed).
+2. *Record duplication* — GPRS re-transmissions between the MDT and the
+   backend produce byte-identical records.
+3. *GPS coordinate errors* — points outside the city or inside inaccessible
+   zones (urban-canyon multipath).
+
+:func:`clean_records` applies the three filters to one taxi's ordered
+records; :func:`clean_store` runs it store-wide and returns both the cleaned
+store and a :class:`CleaningReport` with per-class counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geo.bbox import BBox
+from repro.states.machine import is_valid_transition
+from repro.trace.log_store import MdtLogStore
+from repro.trace.record import MdtRecord
+
+
+@dataclass
+class CleaningReport:
+    """Counts of removed records per section-6.1.1 error class."""
+
+    total_in: int = 0
+    improper_state: int = 0
+    duplicate: int = 0
+    gps_error: int = 0
+
+    @property
+    def total_removed(self) -> int:
+        """Records removed across all three error classes."""
+        return self.improper_state + self.duplicate + self.gps_error
+
+    @property
+    def removed_fraction(self) -> float:
+        """Fraction of input records removed (the paper reports ~2.8%)."""
+        if self.total_in == 0:
+            return 0.0
+        return self.total_removed / self.total_in
+
+    def merge(self, other: "CleaningReport") -> None:
+        """Accumulate another report into this one."""
+        self.total_in += other.total_in
+        self.improper_state += other.improper_state
+        self.duplicate += other.duplicate
+        self.gps_error += other.gps_error
+
+
+def _is_duplicate(a: MdtRecord, b: MdtRecord) -> bool:
+    """True when ``b`` is a GPRS re-transmission of ``a``.
+
+    Re-transmissions repeat the full payload: same timestamp, state,
+    coordinates and speed.
+    """
+    return (
+        a.ts == b.ts
+        and a.state is b.state
+        and a.lon == b.lon
+        and a.lat == b.lat
+        and a.speed == b.speed
+    )
+
+
+def clean_records(
+    records: Sequence[MdtRecord],
+    city_bbox: Optional[BBox] = None,
+    inaccessible: Iterable[BBox] = (),
+    report: Optional[CleaningReport] = None,
+) -> List[MdtRecord]:
+    """Clean one taxi's time-ordered records.
+
+    The filters run in the order duplicates -> GPS -> state validity, so a
+    duplicated erroneous record is counted once (as a duplicate).
+
+    State validity is checked against the *state chain*, not the kept
+    records: a record removed for a GPS error still carries a genuine
+    state, so it advances the chain.  Only records removed as improper
+    states leave the chain untouched.  Without this, one GPS outlier on a
+    state-change record (say the BREAK of a power-up sequence) would make
+    every subsequent record look mis-ordered and cascade-delete the rest
+    of the taxi's day.
+
+    Args:
+        records: one taxi's records, time-ordered.
+        city_bbox: if given, records outside it are GPS errors.
+        inaccessible: bboxes (e.g. water bodies) whose interior points are
+            GPS errors.
+        report: optional report to accumulate counts into.
+
+    Returns:
+        The surviving records, still time-ordered.
+    """
+    if report is None:
+        report = CleaningReport()
+    report.total_in += len(records)
+    inaccessible = list(inaccessible)
+
+    kept: List[MdtRecord] = []
+    prev_raw: Optional[MdtRecord] = None
+    chain_state = None  # last state not removed as improper
+    for record in records:
+        if prev_raw is not None and _is_duplicate(prev_raw, record):
+            report.duplicate += 1
+            continue
+        prev_raw = record
+
+        if chain_state is not None and not is_valid_transition(
+            chain_state, record.state
+        ):
+            report.improper_state += 1
+            continue
+        chain_state = record.state
+
+        if city_bbox is not None and not city_bbox.contains(
+            record.lon, record.lat
+        ):
+            report.gps_error += 1
+            continue
+        if any(zone.contains(record.lon, record.lat) for zone in inaccessible):
+            report.gps_error += 1
+            continue
+        kept.append(record)
+    return kept
+
+
+def clean_store(
+    store: MdtLogStore,
+    city_bbox: Optional[BBox] = None,
+    inaccessible: Iterable[BBox] = (),
+) -> Tuple[MdtLogStore, CleaningReport]:
+    """Clean every taxi's records in a store.
+
+    Returns:
+        ``(cleaned_store, report)`` where the report aggregates counts over
+        all taxis.
+    """
+    report = CleaningReport()
+    cleaned = MdtLogStore()
+    inaccessible = list(inaccessible)
+    for taxi_id in store.taxi_ids:
+        survivors = clean_records(
+            store.records_of(taxi_id),
+            city_bbox=city_bbox,
+            inaccessible=inaccessible,
+            report=report,
+        )
+        cleaned.extend(survivors)
+    return cleaned, report

@@ -1,0 +1,71 @@
+"""Calendar partitioning of log stores.
+
+The deployed system (section 7.1) works in daily units: detection pools
+"the most recent 5 week days' dataset and 2 weekend days' dataset", and
+context runs on single days.  These helpers split a multi-day store along
+midnight boundaries and tag each day with its day of week, producing
+exactly what :class:`repro.core.deployment.DeploymentScheduler` ingests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.trace.log_store import MdtLogStore
+
+
+@dataclass(frozen=True)
+class DayPartition:
+    """One calendar day's slice of a store."""
+
+    day_start_ts: float
+    day_of_week: int
+    store: MdtLogStore
+
+    @property
+    def day_end_ts(self) -> float:
+        return self.day_start_ts + 86400.0
+
+
+def day_of_week_of(ts: float) -> int:
+    """Day of week (Monday=0) of a POSIX timestamp, in UTC.
+
+    The POSIX epoch (1970-01-01) was a Thursday (=3).
+    """
+    days_since_epoch = int(ts // 86400.0)
+    return (days_since_epoch + 3) % 7
+
+
+def split_by_day(store: MdtLogStore) -> List[DayPartition]:
+    """Split a store along UTC midnight boundaries.
+
+    Returns:
+        One partition per calendar day that contains records, in
+        chronological order.  An empty store yields an empty list.
+    """
+    if len(store) == 0:
+        return []
+    lo, hi = store.time_span
+    first_day = lo - (lo % 86400.0)
+    partitions: List[DayPartition] = []
+    day_start = first_day
+    while day_start <= hi:
+        day_store = store.filter_time(day_start, day_start + 86400.0)
+        if len(day_store) > 0:
+            partitions.append(
+                DayPartition(
+                    day_start_ts=day_start,
+                    day_of_week=day_of_week_of(day_start),
+                    store=day_store,
+                )
+            )
+        day_start += 86400.0
+    return partitions
+
+
+def records_per_day(store: MdtLogStore) -> Dict[float, int]:
+    """Record counts keyed by day-start timestamp (dataset statistics)."""
+    return {
+        part.day_start_ts: len(part.store) for part in split_by_day(store)
+    }

@@ -1,0 +1,96 @@
+"""A single MDT log record (paper Table 2).
+
+The paper selects six fields from the raw MDT log: timestamp, taxi ID,
+longitude, latitude, instantaneous speed and taxi state.  The sample record
+reads::
+
+    01/08/2008 19:04:51  SH0001A  103.7999  1.33795  54  POB
+
+Timestamps are stored internally as POSIX seconds (float) for cheap
+arithmetic; the paper's ``dd/mm/yyyy HH:MM:SS`` text form is supported for
+CSV round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Sequence
+
+from repro.states.states import TaxiState, parse_state
+
+#: The timestamp format used in the paper's sample log line.
+TIMESTAMP_FORMAT = "%d/%m/%Y %H:%M:%S"
+
+
+def parse_timestamp(text: str) -> float:
+    """Parse a ``dd/mm/yyyy HH:MM:SS`` timestamp into POSIX seconds (UTC)."""
+    dt = datetime.strptime(text.strip(), TIMESTAMP_FORMAT)
+    return dt.replace(tzinfo=timezone.utc).timestamp()
+
+
+def format_timestamp(ts: float) -> str:
+    """Format POSIX seconds as ``dd/mm/yyyy HH:MM:SS`` (UTC)."""
+    dt = datetime.fromtimestamp(ts, tz=timezone.utc)
+    return dt.strftime(TIMESTAMP_FORMAT)
+
+
+@dataclass(frozen=True, slots=True)
+class MdtRecord:
+    """One event-driven MDT log record with the six selected fields.
+
+    Attributes:
+        ts: POSIX timestamp in seconds.
+        taxi_id: operator-assigned vehicle identifier, e.g. ``"SH0001A"``.
+        lon: GPS longitude in degrees.
+        lat: GPS latitude in degrees.
+        speed: instantaneous speed in km/h.
+        state: one of the 11 :class:`~repro.states.states.TaxiState` values.
+    """
+
+    ts: float
+    taxi_id: str
+    lon: float
+    lat: float
+    speed: float
+    state: TaxiState
+
+    CSV_HEADER = "timestamp,taxi_id,longitude,latitude,speed,state"
+
+    def to_csv_row(self) -> str:
+        """Serialize to one CSV line in the paper's field order."""
+        return (
+            f"{format_timestamp(self.ts)},{self.taxi_id},"
+            f"{self.lon:.6f},{self.lat:.6f},{self.speed:.1f},"
+            f"{self.state.value}"
+        )
+
+    @classmethod
+    def from_csv_row(cls, row: str) -> "MdtRecord":
+        """Parse one CSV line produced by :meth:`to_csv_row`.
+
+        Raises:
+            ValueError: on a malformed line (wrong arity, bad timestamp,
+                unknown state, non-numeric coordinates).
+        """
+        parts = row.rstrip("\n").split(",")
+        if len(parts) != 6:
+            raise ValueError(f"expected 6 fields, got {len(parts)}: {row!r}")
+        ts_text, taxi_id, lon, lat, speed, state = parts
+        return cls(
+            ts=parse_timestamp(ts_text),
+            taxi_id=taxi_id,
+            lon=float(lon),
+            lat=float(lat),
+            speed=float(speed),
+            state=parse_state(state),
+        )
+
+    @classmethod
+    def from_fields(cls, fields: Sequence[str]) -> "MdtRecord":
+        """Build a record from already-split string fields."""
+        return cls.from_csv_row(",".join(fields))
+
+    def replace_ts(self, ts: float) -> "MdtRecord":
+        """Copy with a different timestamp (used by the noise injector)."""
+        return MdtRecord(ts, self.taxi_id, self.lon, self.lat, self.speed, self.state)

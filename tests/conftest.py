@@ -1,0 +1,55 @@
+"""Shared fixtures: a small simulated day reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import simulate_day
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SimulationConfig:
+    """A fast-but-realistic simulation configuration."""
+    return SimulationConfig(
+        seed=42,
+        fleet_size=150,
+        n_queue_spots=10,
+        n_decoy_landmarks=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_day(small_config):
+    """One simulated day (session-scoped: ~2 s, shared by many tests)."""
+    return simulate_day(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_day):
+    """An engine configured for the small day's city."""
+    city = small_day.city
+    return QueueAnalyticEngine(
+        zones=city.zones,
+        projection=city.projection,
+        config=EngineConfig(
+            observed_fraction=small_day.config.observed_fraction
+        ),
+        city_bbox=city.bbox,
+        inaccessible=city.water,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_detection(small_engine, small_day):
+    """Tier-1 output on the small day."""
+    return small_engine.detect_spots(small_day.store)
+
+
+@pytest.fixture(scope="session")
+def small_analyses(small_engine, small_day, small_detection):
+    """Tier-2 output on the small day."""
+    return small_engine.disambiguate(
+        small_day.store, small_detection, small_day.ground_truth.grid
+    )

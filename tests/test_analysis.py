@@ -1,0 +1,159 @@
+"""Tests for the evaluation harness (landmark match, accuracy, validation,
+sample case)."""
+
+import pytest
+
+from repro.analysis.accuracy import label_accuracy, spot_detection_accuracy
+from repro.analysis.landmark_match import (
+    landmark_category_table,
+    match_spots_to_landmarks,
+)
+from repro.analysis.sample_case import pick_mall_spot, sample_case_timeline
+from repro.analysis.validation import validate_against_monitor_and_bookings
+from repro.core.types import QueueSpot, QueueType
+from repro.sim.landmarks import Landmark, LandmarkCategory
+
+
+def spot(spot_id="QS001", lon=103.8, lat=1.33, pickups=100):
+    return QueueSpot(spot_id, lon, lat, "Central", pickups, 6.0)
+
+
+def landmark(lon=103.8, lat=1.33, category=LandmarkCategory.MRT_BUS):
+    return Landmark("LM001", "x", category, lon, lat, "Central")
+
+
+class TestLandmarkMatch:
+    def test_nearby_landmark_matched(self):
+        matches = match_spots_to_landmarks([spot()], [landmark()])
+        assert matches[0].landmark is not None
+        assert matches[0].category is LandmarkCategory.MRT_BUS
+        assert matches[0].distance_m < 1.0
+
+    def test_far_landmark_unmatched(self):
+        far = landmark(lon=103.9)
+        matches = match_spots_to_landmarks([spot()], [far])
+        assert matches[0].landmark is None
+        assert matches[0].category is LandmarkCategory.NONE
+
+    def test_nearest_wins(self):
+        near = landmark()
+        other = Landmark(
+            "LM002", "y", LandmarkCategory.OFFICE, 103.8003, 1.33, "Central"
+        )
+        matches = match_spots_to_landmarks([spot()], [other, near])
+        assert matches[0].landmark.landmark_id == "LM001"
+
+    def test_category_table_shares(self):
+        spots = [spot("QS001"), spot("QS002", lon=103.9)]
+        lms = [landmark(), landmark(lon=103.9, category=LandmarkCategory.OFFICE)]
+        table = landmark_category_table(match_spots_to_landmarks(spots, lms))
+        assert table[LandmarkCategory.MRT_BUS] == pytest.approx(0.5)
+        assert table[LandmarkCategory.OFFICE] == pytest.approx(0.5)
+
+    def test_leisure_park_folded(self):
+        lms = [landmark(category=LandmarkCategory.LEISURE_PARK)]
+        table = landmark_category_table(
+            match_spots_to_landmarks([spot()], lms)
+        )
+        assert LandmarkCategory.INDUSTRIAL_RESIDENTIAL in table
+
+    def test_empty(self):
+        assert landmark_category_table([]) == {}
+
+    def test_on_simulated_day(self, small_detection, small_day):
+        matches = match_spots_to_landmarks(
+            small_detection.spots, small_day.city.landmarks
+        )
+        table = landmark_category_table(matches)
+        # Most detected spots sit at a real landmark.
+        unidentified = table.get(LandmarkCategory.NONE, 0.0)
+        assert unidentified < 0.4
+
+
+class TestSpotDetectionAccuracy:
+    def test_on_simulated_day(self, small_detection, small_day):
+        score = spot_detection_accuracy(
+            small_detection.spots, small_day.ground_truth, min_pickups=100
+        )
+        assert score.recall >= 0.8
+        assert score.precision >= 0.8
+        assert score.mean_error_m < 20.0
+
+    def test_empty_detection(self, small_day):
+        score = spot_detection_accuracy([], small_day.ground_truth)
+        assert score.recall == 0.0
+        assert score.matched == 0
+
+
+class TestLabelAccuracy:
+    def test_structure(self, small_analyses, small_day):
+        score = label_accuracy(small_analyses.values(), small_day.ground_truth)
+        assert score.labeled + score.unidentified > 0
+        assert 0.0 <= score.accuracy <= 1.0
+        total_conf = sum(score.confusion.values())
+        assert total_conf == score.labeled
+
+    def test_agreement_bounds(self, small_analyses, small_day):
+        score = label_accuracy(small_analyses.values(), small_day.ground_truth)
+        assert score.accuracy <= score.passenger_queue_agreement + 1e-9 or \
+            score.accuracy <= score.taxi_queue_agreement + 1e-9
+
+
+class TestValidation:
+    def test_table8_orderings(self, small_analyses, small_day):
+        locations = {
+            sid: (t.lon, t.lat)
+            for sid, t in small_day.ground_truth.spots.items()
+        }
+        result = validate_against_monitor_and_bookings(
+            small_analyses.values(),
+            small_day.monitor_readings,
+            small_day.failed_bookings,
+            small_day.ground_truth.grid,
+            locations,
+        )
+        taxi = result.avg_taxi_count
+        # Taxi-queue labels must hold more monitored taxis than C4.
+        if result.slots_per_label[QueueType.C3] > 5:
+            assert taxi[QueueType.C3] > taxi[QueueType.C4]
+        if result.slots_per_label[QueueType.C1] > 5:
+            assert taxi[QueueType.C1] > taxi[QueueType.C4]
+
+    def test_counts_cover_labels(self, small_analyses, small_day):
+        locations = {
+            sid: (t.lon, t.lat)
+            for sid, t in small_day.ground_truth.spots.items()
+        }
+        result = validate_against_monitor_and_bookings(
+            small_analyses.values(),
+            small_day.monitor_readings,
+            small_day.failed_bookings,
+            small_day.ground_truth.grid,
+            locations,
+        )
+        total = sum(result.slots_per_label.values())
+        n_slots = small_day.ground_truth.grid.n_slots
+        assert total <= len(small_analyses) * n_slots
+        assert total > 0
+
+
+class TestSampleCase:
+    def test_timeline_covers_day(self, small_analyses, small_day):
+        analysis = next(iter(small_analyses.values()))
+        timeline = sample_case_timeline(analysis, small_day.ground_truth.grid)
+        assert set(timeline) == {qt.value for qt in QueueType}
+        n_ranges = sum(len(v) for v in timeline.values())
+        assert n_ranges >= 1
+
+    def test_pick_mall_spot(self, small_analyses, small_day):
+        mall = pick_mall_spot(list(small_analyses.values()), small_day.city)
+        if mall is not None:
+            from repro.geo.point import equirectangular_m
+
+            nearest = min(
+                small_day.city.landmarks,
+                key=lambda lm: equirectangular_m(
+                    lm.lon, lm.lat, mall.spot.lon, mall.spot.lat
+                ),
+            )
+            assert nearest.category is LandmarkCategory.MALL_HOTEL

@@ -1,0 +1,117 @@
+"""Tests for bounding boxes and the four-zone partition (paper Fig. 5)."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.zones import ZONE_NAMES, Zone, ZonePartition, four_zone_partition
+from repro.sim.city import DEFAULT_CITY_BBOX
+
+
+class TestBBox:
+    box = BBox(103.6, 1.24, 104.0, 1.47)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_contains_interior_and_boundary(self):
+        assert self.box.contains(103.8, 1.3)
+        assert self.box.contains(103.6, 1.24)
+        assert not self.box.contains(103.5, 1.3)
+        assert not self.box.contains(103.8, 1.5)
+
+    def test_center(self):
+        lon, lat = self.box.center
+        assert lon == pytest.approx(103.8)
+        assert lat == pytest.approx(1.355)
+
+    def test_from_points(self):
+        box = BBox.from_points([(1.0, 2.0), (3.0, 0.5), (2.0, 1.0)])
+        assert box == BBox(1.0, 0.5, 3.0, 2.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.from_points([])
+
+    def test_intersects(self):
+        other = BBox(103.9, 1.4, 104.2, 1.6)
+        assert self.box.intersects(other)
+        assert other.intersects(self.box)
+        assert not self.box.intersects(BBox(105.0, 1.0, 106.0, 2.0))
+
+    def test_expanded(self):
+        grown = self.box.expanded(0.1)
+        assert grown.contains(103.55, 1.2)
+
+    def test_clamp(self):
+        assert self.box.clamp(200.0, -5.0) == (104.0, 1.24)
+        assert self.box.clamp(103.8, 1.3) == (103.8, 1.3)
+
+    def test_metric_extents(self):
+        # DEFAULT_CITY_BBOX is designed as ~50 km x ~26 km (section 6.1.3).
+        assert DEFAULT_CITY_BBOX.width_m == pytest.approx(50_000, rel=0.02)
+        assert DEFAULT_CITY_BBOX.height_m == pytest.approx(26_000, rel=0.02)
+
+
+class TestZonePartition:
+    partition = four_zone_partition(DEFAULT_CITY_BBOX)
+
+    def test_four_zones_in_paper_order(self):
+        assert tuple(z.name for z in self.partition) == ZONE_NAMES
+
+    def test_every_city_point_classified(self):
+        box = DEFAULT_CITY_BBOX
+        steps = 25
+        for i in range(steps + 1):
+            for j in range(steps + 1):
+                lon = box.west + (box.east - box.west) * i / steps
+                lat = box.south + (box.north - box.south) * j / steps
+                assert self.partition.classify(lon, lat) is not None
+
+    def test_center_area_is_central(self):
+        # The central box sits slightly south of the city midpoint.
+        lon = DEFAULT_CITY_BBOX.west + 0.55 * (
+            DEFAULT_CITY_BBOX.east - DEFAULT_CITY_BBOX.west
+        )
+        lat = DEFAULT_CITY_BBOX.south + 0.35 * (
+            DEFAULT_CITY_BBOX.north - DEFAULT_CITY_BBOX.south
+        )
+        assert self.partition.classify(lon, lat) == "Central"
+
+    def test_west_east_edges(self):
+        box = DEFAULT_CITY_BBOX
+        mid_lat = (box.south + box.north) / 2
+        assert self.partition.classify(box.west + 0.001, mid_lat) == "West"
+        assert self.partition.classify(box.east - 0.001, mid_lat) == "East"
+
+    def test_north_edge(self):
+        box = DEFAULT_CITY_BBOX
+        mid_lon = (box.west + box.east) / 2
+        name = self.partition.classify(mid_lon + 0.02, box.north - 0.001)
+        assert name == "North"
+
+    def test_outside_point_unclassified(self):
+        assert self.partition.classify(0.0, 0.0) is None
+
+    def test_classify_or_nearest_never_none(self):
+        assert self.partition.classify_or_nearest(0.0, 0.0) in ZONE_NAMES
+
+    def test_zone_named(self):
+        assert self.partition.zone_named("East").name == "East"
+        with pytest.raises(KeyError):
+            self.partition.zone_named("Atlantis")
+
+    def test_duplicate_names_rejected(self):
+        zone = Zone("A", BBox(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            ZonePartition([zone, zone])
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            ZonePartition([])
+
+    def test_central_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            four_zone_partition(DEFAULT_CITY_BBOX, central_area_fraction=0.0)
+        with pytest.raises(ValueError):
+            four_zone_partition(DEFAULT_CITY_BBOX, central_area_fraction=1.5)

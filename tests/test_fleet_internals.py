@@ -1,0 +1,144 @@
+"""White-box tests of fleet-simulator internals."""
+
+import random
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import (
+    FleetSimulator,
+    _IdlePool,
+    _poisson_sample,
+    _poisson_times,
+)
+from repro.sim.taxi import TaxiAgent
+
+
+def make_taxi(taxi_id, lon, lat):
+    return TaxiAgent(taxi_id, lon, lat, SimulationConfig(), random.Random(0))
+
+
+class TestIdlePool:
+    def test_add_remove_membership(self):
+        pool = _IdlePool()
+        taxi = make_taxi("A", 103.8, 1.33)
+        pool.add(taxi)
+        assert taxi in pool
+        assert len(pool) == 1
+        pool.remove(taxi)
+        assert taxi not in pool
+        assert len(pool) == 0
+
+    def test_double_add_is_noop(self):
+        pool = _IdlePool()
+        taxi = make_taxi("A", 103.8, 1.33)
+        pool.add(taxi)
+        pool.add(taxi)
+        assert len(pool) == 1
+
+    def test_remove_absent_is_noop(self):
+        pool = _IdlePool()
+        pool.remove(make_taxi("A", 103.8, 1.33))
+        assert len(pool) == 0
+
+    def test_nearest_within(self):
+        pool = _IdlePool()
+        near = make_taxi("NEAR", 103.800, 1.330)
+        far = make_taxi("FAR", 103.850, 1.330)
+        pool.add(near)
+        pool.add(far)
+        found = pool.nearest_within(103.801, 1.330, radius_m=1000.0)
+        assert found is near
+
+    def test_nearest_within_respects_radius(self):
+        pool = _IdlePool()
+        pool.add(make_taxi("A", 103.85, 1.33))
+        assert pool.nearest_within(103.80, 1.33, radius_m=1000.0) is None
+
+    def test_nearest_tie_breaks_on_id(self):
+        pool = _IdlePool()
+        b = make_taxi("B", 103.8, 1.33)
+        a = make_taxi("A", 103.8, 1.33)  # identical position
+        pool.add(b)
+        pool.add(a)
+        found = pool.nearest_within(103.8, 1.33, radius_m=100.0)
+        assert found.taxi_id == "A"
+
+    def test_random_member(self):
+        pool = _IdlePool()
+        rng = random.Random(0)
+        assert pool.random_member(rng) is None
+        taxis = [make_taxi(f"T{i}", 103.8, 1.33) for i in range(5)]
+        for taxi in taxis:
+            pool.add(taxi)
+        seen = {pool.random_member(rng).taxi_id for _ in range(100)}
+        assert len(seen) >= 3  # uniform-ish sampling reaches most members
+
+    def test_swap_pop_consistency(self):
+        pool = _IdlePool()
+        taxis = [make_taxi(f"T{i}", 103.8, 1.33) for i in range(10)]
+        for taxi in taxis:
+            pool.add(taxi)
+        for taxi in taxis[::2]:
+            pool.remove(taxi)
+        assert len(pool) == 5
+        rng = random.Random(1)
+        for _ in range(20):
+            member = pool.random_member(rng)
+            assert member in pool
+
+
+class TestPoissonHelpers:
+    def test_zero_rate(self):
+        rng = random.Random(0)
+        assert _poisson_times(rng, 0.0, 0.0, 3600.0) == []
+        assert _poisson_sample(rng, 0.0) == 0
+
+    def test_times_within_window(self):
+        rng = random.Random(1)
+        times = _poisson_times(rng, 0.01, 1000.0, 3600.0)
+        assert all(1000.0 <= t < 4600.0 for t in times)
+        assert times == sorted(times)
+
+    def test_sample_mean_small(self):
+        rng = random.Random(2)
+        draws = [_poisson_sample(rng, 3.0) for _ in range(3000)]
+        assert sum(draws) / len(draws) == pytest.approx(3.0, rel=0.1)
+
+    def test_sample_mean_large_uses_normal_approx(self):
+        rng = random.Random(3)
+        draws = [_poisson_sample(rng, 400.0) for _ in range(300)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(400.0, rel=0.05)
+        assert all(d >= 0 for d in draws)
+
+    def test_expected_event_count(self):
+        rng = random.Random(4)
+        times = _poisson_times(rng, 0.02, 0.0, 3600.0)  # mean 72
+        assert 40 < len(times) < 110
+
+
+class TestSimulatorSetup:
+    def test_spot_states_built_per_landmark(self):
+        config = SimulationConfig(
+            seed=5, fleet_size=20, n_queue_spots=6, n_decoy_landmarks=2
+        )
+        sim = FleetSimulator(config)
+        sim._setup_spots()
+        assert len(sim.spots) == 6
+        for spot in sim.spots.values():
+            assert spot.truth.spot_id == spot.landmark.landmark_id
+            assert len(spot.bay_free) >= 1
+            assert 0.0 <= spot.line_bearing < 360.0
+
+    def test_taxis_start_off_duty(self):
+        config = SimulationConfig(
+            seed=5, fleet_size=15, n_queue_spots=4, n_decoy_landmarks=2
+        )
+        sim = FleetSimulator(config)
+        sim._setup_taxis()
+        assert len(sim.taxis) == 15
+        from repro.sim.taxi import TaxiStatus
+
+        assert all(t.status is TaxiStatus.OFF_DUTY for t in sim.taxis)
+        assert len({t.taxi_id for t in sim.taxis}) == 15

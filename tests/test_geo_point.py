@@ -1,0 +1,108 @@
+"""Tests for distances and the local projection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+)
+
+SG_LON, SG_LAT = 103.82, 1.352
+
+lon_st = st.floats(min_value=103.6, max_value=104.0)
+lat_st = st.floats(min_value=1.24, max_value=1.47)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(SG_LON, SG_LAT, SG_LON, SG_LAT) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        d = haversine_m(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(2 * math.pi * EARTH_RADIUS_M / 360, rel=1e-6)
+
+    def test_symmetry(self):
+        a = haversine_m(103.8, 1.3, 103.9, 1.4)
+        b = haversine_m(103.9, 1.4, 103.8, 1.3)
+        assert a == pytest.approx(b)
+
+    @given(lon_st, lat_st, lon_st, lat_st)
+    @settings(max_examples=50)
+    def test_equirectangular_matches_haversine_at_city_scale(
+        self, lon1, lat1, lon2, lat2
+    ):
+        hav = haversine_m(lon1, lat1, lon2, lat2)
+        equi = equirectangular_m(lon1, lat1, lon2, lat2)
+        assert equi == pytest.approx(hav, rel=2e-3, abs=0.5)
+
+
+class TestDestinationPoint:
+    def test_moving_north(self):
+        lon, lat = destination_point(SG_LON, SG_LAT, 0.0, 1000.0)
+        assert lon == pytest.approx(SG_LON)
+        assert haversine_m(SG_LON, SG_LAT, lon, lat) == pytest.approx(
+            1000.0, rel=1e-3
+        )
+
+    def test_moving_east(self):
+        lon, lat = destination_point(SG_LON, SG_LAT, 90.0, 500.0)
+        assert lat == pytest.approx(SG_LAT)
+        assert haversine_m(SG_LON, SG_LAT, lon, lat) == pytest.approx(
+            500.0, rel=1e-3
+        )
+
+    @given(st.floats(min_value=0, max_value=360),
+           st.floats(min_value=1.0, max_value=20_000.0))
+    @settings(max_examples=50)
+    def test_distance_preserved(self, bearing, dist):
+        lon, lat = destination_point(SG_LON, SG_LAT, bearing, dist)
+        assert haversine_m(SG_LON, SG_LAT, lon, lat) == pytest.approx(
+            dist, rel=5e-3
+        )
+
+
+class TestLocalProjection:
+    proj = LocalProjection(SG_LON, SG_LAT)
+
+    def test_reference_maps_to_origin(self):
+        assert self.proj.to_xy(SG_LON, SG_LAT) == (0.0, 0.0)
+
+    @given(lon_st, lat_st)
+    @settings(max_examples=50)
+    def test_roundtrip(self, lon, lat):
+        x, y = self.proj.to_xy(lon, lat)
+        lon2, lat2 = self.proj.to_lonlat(x, y)
+        assert lon2 == pytest.approx(lon, abs=1e-9)
+        assert lat2 == pytest.approx(lat, abs=1e-9)
+
+    @given(lon_st, lat_st, lon_st, lat_st)
+    @settings(max_examples=50)
+    def test_projection_preserves_distances(self, lon1, lat1, lon2, lat2):
+        x1, y1 = self.proj.to_xy(lon1, lat1)
+        x2, y2 = self.proj.to_xy(lon2, lat2)
+        planar = math.hypot(x2 - x1, y2 - y1)
+        hav = haversine_m(lon1, lat1, lon2, lat2)
+        assert planar == pytest.approx(hav, rel=3e-3, abs=0.5)
+
+    def test_array_roundtrip(self):
+        lons = np.array([103.7, 103.8, 103.95])
+        lats = np.array([1.3, 1.35, 1.42])
+        xy = self.proj.to_xy_array(lons, lats)
+        assert xy.shape == (3, 2)
+        back = self.proj.to_lonlat_array(xy)
+        np.testing.assert_allclose(back[:, 0], lons, atol=1e-9)
+        np.testing.assert_allclose(back[:, 1], lats, atol=1e-9)
+
+    def test_array_matches_scalar(self):
+        xy = self.proj.to_xy_array(np.array([103.9]), np.array([1.4]))
+        x, y = self.proj.to_xy(103.9, 1.4)
+        assert xy[0, 0] == pytest.approx(x)
+        assert xy[0, 1] == pytest.approx(y)

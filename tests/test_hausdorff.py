@@ -1,0 +1,98 @@
+"""Tests for (modified) Hausdorff distances (paper Table 5's metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.hausdorff import (
+    directed_hausdorff,
+    directed_modified_hausdorff,
+    hausdorff_distance,
+    modified_hausdorff,
+)
+
+
+def cloud(min_size=1, max_size=30):
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=-1000, max_value=1000),
+            st.floats(min_value=-1000, max_value=1000),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda pts: np.asarray(pts, dtype=np.float64))
+
+
+class TestBasics:
+    def test_identical_sets_zero(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert hausdorff_distance(a, a) == 0.0
+        assert modified_hausdorff(a, a) == 0.0
+
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+        assert modified_hausdorff(a, b) == pytest.approx(5.0)
+
+    def test_directed_asymmetry(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert directed_hausdorff(a, b) == 0.0
+        assert directed_hausdorff(b, a) == pytest.approx(10.0)
+
+    def test_modified_uses_mean_not_max(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [101.0, 0.0]])
+        # Classic directed b->a: max(0, 100); modified: mean(0, 100).
+        assert directed_hausdorff(b, a) == pytest.approx(100.0)
+        assert directed_modified_hausdorff(b, a) == pytest.approx(50.0)
+
+    def test_modified_robust_to_single_outlier(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(50, 2))
+        b = np.vstack([a, [[10_000.0, 10_000.0]]])
+        assert modified_hausdorff(a, b) < hausdorff_distance(a, b)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            modified_hausdorff(np.empty((0, 2)), np.array([[0.0, 0.0]]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            hausdorff_distance(np.zeros((3, 3)), np.zeros((2, 2)))
+
+
+class TestMetricProperties:
+    @given(cloud(), cloud())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        assert modified_hausdorff(a, b) == pytest.approx(
+            modified_hausdorff(b, a)
+        )
+        assert hausdorff_distance(a, b) == pytest.approx(
+            hausdorff_distance(b, a)
+        )
+
+    @given(cloud())
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, a):
+        # The expanded |a|^2 - 2ab + |b|^2 form cancels imperfectly in
+        # float64; sub-millimetre residue is fine at metre scale.
+        assert modified_hausdorff(a, a) == pytest.approx(0.0, abs=1e-3)
+
+    @given(cloud(), cloud())
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative_and_bounded_by_classic(self, a, b):
+        mhd = modified_hausdorff(a, b)
+        hd = hausdorff_distance(a, b)
+        assert 0.0 <= mhd <= hd + 1e-9
+
+    @given(cloud(), cloud(), cloud())
+    @settings(max_examples=25, deadline=None)
+    def test_classic_triangle_inequality(self, a, b, c):
+        ab = hausdorff_distance(a, b)
+        bc = hausdorff_distance(b, c)
+        ac = hausdorff_distance(a, c)
+        assert ac <= ab + bc + 1e-6

@@ -1,0 +1,134 @@
+"""Tests for the supply/demand imbalance report."""
+
+import pytest
+
+from repro.analysis.imbalance import (
+    StandProposal,
+    imbalance_index,
+    propose_new_stands,
+    zone_imbalance_profiles,
+)
+from repro.core.engine import SpotAnalysis
+from repro.core.types import QueueSpot, QueueType, SlotLabel
+from repro.sim.landmarks import Landmark, LandmarkCategory
+
+
+def analysis(labels, spot_id="QS001", zone="Central", lon=103.8, lat=1.33):
+    return SpotAnalysis(
+        spot=QueueSpot(spot_id, lon, lat, zone, 200, 6.0),
+        wait_events=[],
+        features=[],
+        labels=[SlotLabel(i, qt, 1) for i, qt in enumerate(labels)],
+        thresholds=None,
+    )
+
+
+class TestImbalanceIndex:
+    def test_pure_demand(self):
+        assert imbalance_index([QueueType.C2, QueueType.C2]) == 1.0
+
+    def test_pure_supply(self):
+        assert imbalance_index([QueueType.C3]) == -1.0
+
+    def test_balanced(self):
+        assert imbalance_index([QueueType.C1, QueueType.C4]) == 0.0
+
+    def test_mixed(self):
+        value = imbalance_index([QueueType.C2, QueueType.C3, QueueType.C4])
+        assert value == pytest.approx(0.0)
+
+    def test_unidentified_carries_no_evidence(self):
+        assert imbalance_index([QueueType.UNIDENTIFIED]) is None
+        assert imbalance_index(
+            [QueueType.UNIDENTIFIED, QueueType.C2]
+        ) == 1.0
+
+    def test_bounds(self):
+        for labels in (
+            [QueueType.C2] * 5,
+            [QueueType.C3] * 5,
+            list(QueueType),
+        ):
+            value = imbalance_index(labels)
+            assert value is None or -1.0 <= value <= 1.0
+
+
+class TestZoneProfiles:
+    def test_hourly_aggregation(self):
+        # 48 slots: C2 in hour 0 (slots 0-1), C3 in hour 1 (slots 2-3),
+        # unidentified elsewhere.
+        labels = [QueueType.UNIDENTIFIED] * 48
+        labels[0] = labels[1] = QueueType.C2
+        labels[2] = labels[3] = QueueType.C3
+        profiles = zone_imbalance_profiles([analysis(labels)])
+        profile = profiles["Central"]
+        assert profile.hourly[0] == 1.0
+        assert profile.hourly[1] == -1.0
+        assert profile.hourly[5] is None
+
+    def test_peak_hours(self):
+        labels = [QueueType.C4] * 48
+        labels[36] = labels[37] = QueueType.C2  # 18:00
+        labels[4] = labels[5] = QueueType.C3    # 02:00
+        profile = zone_imbalance_profiles([analysis(labels)])["Central"]
+        assert profile.peak_demand_hour == 18
+        assert profile.peak_supply_hour == 2
+
+    def test_zones_separated(self):
+        a = analysis([QueueType.C2] * 48, zone="Central")
+        b = analysis([QueueType.C3] * 48, zone="East", spot_id="QS002")
+        profiles = zone_imbalance_profiles([a, b])
+        assert profiles["Central"].hourly[10] == 1.0
+        assert profiles["East"].hourly[10] == -1.0
+
+    def test_on_simulated_day(self, small_analyses):
+        profiles = zone_imbalance_profiles(small_analyses.values())
+        assert profiles
+        for profile in profiles.values():
+            assert len(profile.hourly) == 24
+
+
+class TestStandProposals:
+    LM = Landmark(
+        "LM001", "Known Stand", LandmarkCategory.MRT_BUS, 103.8, 1.33,
+        "Central",
+    )
+
+    def test_busy_unserved_spot_proposed(self):
+        # A spot 500 m from any landmark with heavy queueing.
+        a = analysis([QueueType.C2] * 48, lon=103.81, lat=1.34)
+        proposals = propose_new_stands([a], [self.LM])
+        assert len(proposals) == 1
+        assert isinstance(proposals[0], StandProposal)
+        assert proposals[0].queueing_slots == 48
+
+    def test_spot_at_known_landmark_excluded(self):
+        a = analysis([QueueType.C2] * 48, lon=103.8, lat=1.33)
+        assert propose_new_stands([a], [self.LM]) == []
+
+    def test_quiet_spot_excluded(self):
+        a = analysis([QueueType.C4] * 48, lon=103.81, lat=1.34)
+        assert propose_new_stands([a], [self.LM]) == []
+
+    def test_ordering_by_intensity(self):
+        busy = analysis([QueueType.C2] * 48, spot_id="A", lon=103.81, lat=1.34)
+        medium = analysis(
+            [QueueType.C2] * 20 + [QueueType.C4] * 28,
+            spot_id="B", lon=103.82, lat=1.35,
+        )
+        proposals = propose_new_stands([busy, medium], [self.LM])
+        assert [p.spot_id for p in proposals] == ["A", "B"]
+
+    def test_category_restriction(self):
+        # Only MRT landmarks count as existing stands; a spot at an
+        # office landmark still gets proposed.
+        office = Landmark(
+            "LM002", "Tower", LandmarkCategory.OFFICE, 103.81, 1.34,
+            "Central",
+        )
+        a = analysis([QueueType.C2] * 48, lon=103.81, lat=1.34)
+        proposals = propose_new_stands(
+            [a], [office], stand_categories=(LandmarkCategory.MRT_BUS,)
+        )
+        assert len(proposals) == 1
+        assert proposals[0].nearest_landmark == "Tower"

@@ -1,0 +1,180 @@
+"""Tests for the embedded MDT log store."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.states.states import TaxiState
+from repro.trace.log_store import MdtLogStore, merge_stores
+from repro.trace.record import MdtRecord
+
+
+def rec(ts, taxi="SH0001A", lon=103.8, lat=1.33, speed=10.0, state=TaxiState.FREE):
+    return MdtRecord(ts, taxi, lon, lat, speed, state)
+
+
+@pytest.fixture
+def store():
+    s = MdtLogStore()
+    s.extend(
+        [
+            rec(100.0, "A"),
+            rec(50.0, "A", state=TaxiState.POB),
+            rec(75.0, "B", lon=103.9),
+            rec(200.0, "B", lon=104.2),
+        ]
+    )
+    return s
+
+
+class TestIngestionAndReads:
+    def test_len_and_taxi_ids(self, store):
+        assert len(store) == 4
+        assert store.taxi_ids == ["A", "B"]
+        assert store.taxi_count == 2
+
+    def test_records_sorted_lazily(self, store):
+        ts = [r.ts for r in store.records_of("A")]
+        assert ts == [50.0, 100.0]
+
+    def test_unknown_taxi_gives_empty(self, store):
+        assert store.records_of("Z") == []
+
+    def test_trajectory_view(self, store):
+        traj = store.trajectory("A")
+        assert traj.taxi_id == "A"
+        assert len(traj) == 2
+
+    def test_iter_trajectories(self, store):
+        ids = [t.taxi_id for t in store.iter_trajectories()]
+        assert ids == ["A", "B"]
+
+    def test_time_span(self, store):
+        assert store.time_span == (50.0, 200.0)
+
+    def test_empty_time_span_raises(self):
+        with pytest.raises(ValueError):
+            MdtLogStore().time_span
+
+    def test_stats(self, store):
+        stats = store.stats()
+        assert stats["records"] == 4
+        assert stats["taxis"] == 2
+        assert stats["records_per_taxi"] == 2.0
+
+    def test_empty_stats(self):
+        assert MdtLogStore().stats()["records"] == 0
+
+
+class TestFilters:
+    def test_filter_time(self, store):
+        sub = store.filter_time(60.0, 150.0)
+        assert sorted(r.ts for r in sub.iter_records()) == [75.0, 100.0]
+
+    def test_filter_bbox(self, store):
+        sub = store.filter_bbox(BBox(103.85, 1.0, 104.0, 2.0))
+        assert len(sub) == 1
+
+    def test_filter_taxis(self, store):
+        sub = store.filter_taxis(["B", "Z"])
+        assert sub.taxi_ids == ["B"]
+        assert len(sub) == 2
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, store, tmp_path):
+        path = tmp_path / "logs.csv"
+        store.to_csv(path)
+        loaded = MdtLogStore.from_csv(path)
+        assert len(loaded) == len(store)
+        assert [r.state for r in loaded.records_of("A")] == [
+            r.state for r in store.records_of("A")
+        ]
+
+    def test_csv_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError, match="header"):
+            MdtLogStore.from_csv(path)
+
+    def test_npz_roundtrip(self, store, tmp_path):
+        path = tmp_path / "logs.npz"
+        store.to_npz(path)
+        loaded = MdtLogStore.from_npz(path)
+        assert len(loaded) == len(store)
+        a_states = [r.state for r in loaded.records_of("A")]
+        assert a_states == [TaxiState.POB, TaxiState.FREE]
+
+    def test_to_arrays_alignment(self, store):
+        arrays = store.to_arrays()
+        assert len(arrays["ts"]) == 4
+        assert arrays["taxi_id"][0] == "A"
+        assert set(arrays) == {"ts", "lon", "lat", "speed", "state", "taxi_id"}
+
+    def test_csv_text(self, store):
+        text = store.to_csv_text()
+        assert text.splitlines()[0] == MdtRecord.CSV_HEADER
+        assert len(text.splitlines()) == 5
+
+
+class TestLenientIngestion:
+    def test_skip_mode_counts_bad_lines(self, store, tmp_path):
+        path = tmp_path / "dirty.csv"
+        text = store.to_csv_text()
+        path.write_text(text + "garbage,line\nnot,even,close\n")
+        loaded = MdtLogStore.from_csv(path, on_error="skip")
+        assert len(loaded) == len(store)
+        assert loaded.skipped_lines == 2
+
+    def test_raise_mode_fails_on_bad_line(self, store, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(store.to_csv_text() + "garbage,line\n")
+        with pytest.raises(ValueError):
+            MdtLogStore.from_csv(path)
+
+    def test_unknown_mode_rejected(self, store, tmp_path):
+        path = tmp_path / "x.csv"
+        store.to_csv(path)
+        with pytest.raises(ValueError, match="on_error"):
+            MdtLogStore.from_csv(path, on_error="ignore")
+
+
+class TestJsonl:
+    def test_roundtrip(self, store, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        store.to_jsonl(path)
+        loaded = MdtLogStore.from_jsonl(path)
+        assert len(loaded) == len(store)
+        assert [r.state for r in loaded.records_of("A")] == [
+            r.state for r in store.records_of("A")
+        ]
+        assert loaded.records_of("B")[0].lon == store.records_of("B")[0].lon
+
+    def test_one_object_per_line(self, store, tmp_path):
+        import json
+
+        path = tmp_path / "logs.jsonl"
+        store.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(store)
+        parsed = json.loads(lines[0])
+        assert set(parsed) == {"ts", "taxi_id", "lon", "lat", "speed", "state"}
+
+    def test_malformed_line_raises_with_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            MdtLogStore.from_jsonl(path)
+
+    def test_blank_lines_tolerated(self, store, tmp_path):
+        path = tmp_path / "logs.jsonl"
+        store.to_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(MdtLogStore.from_jsonl(path)) == len(store)
+
+
+class TestMerge:
+    def test_merge_stores(self, store):
+        other = MdtLogStore([rec(5.0, "C")])
+        merged = merge_stores([store, other])
+        assert len(merged) == 5
+        assert merged.taxi_ids == ["A", "B", "C"]

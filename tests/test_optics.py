@@ -1,0 +1,101 @@
+"""Tests for OPTICS (the alternative density clustering of section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dbscan import dbscan
+from repro.cluster.neighbors import NOISE
+from repro.cluster.optics import optics
+
+
+def blobs(seed=0, n=50, centers=((0, 0), (40, 0), (0, 40))):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(c, 1.0, size=(n, 2)) for c in centers]
+    )
+
+
+class TestBasics:
+    def test_empty_input(self):
+        result = optics(np.empty((0, 2)), max_eps=5.0, min_pts=3)
+        assert len(result.ordering) == 0
+
+    def test_invalid_parameters(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            optics(points, max_eps=0.0, min_pts=3)
+        with pytest.raises(ValueError):
+            optics(points, max_eps=1.0, min_pts=0)
+
+    def test_ordering_is_permutation(self):
+        points = blobs()
+        result = optics(points, max_eps=10.0, min_pts=5)
+        assert sorted(result.ordering.tolist()) == list(range(len(points)))
+
+    def test_finds_three_blobs(self):
+        points = blobs()
+        result = optics(points, max_eps=10.0, min_pts=5)
+        assert result.n_clusters_at(4.0) == 3
+
+    def test_core_distance_reflects_density(self):
+        dense = np.random.default_rng(0).normal(0, 0.5, size=(100, 2))
+        sparse = np.random.default_rng(1).normal(0, 0.5, size=(100, 2)) + 500
+        points = np.vstack([dense, sparse[:10]])
+        result = optics(points, max_eps=50.0, min_pts=5)
+        dense_core = result.core_distance[:100]
+        sparse_core = result.core_distance[100:]
+        assert np.median(dense_core) < np.median(sparse_core)
+
+    def test_noise_point_isolated(self):
+        points = np.vstack([blobs(n=30), [[1000.0, 1000.0]]])
+        result = optics(points, max_eps=10.0, min_pts=5)
+        labels = result.extract_dbscan(4.0)
+        assert labels[-1] == NOISE
+
+    def test_reachability_within_cluster_small(self):
+        points = blobs()
+        result = optics(points, max_eps=10.0, min_pts=5)
+        finite = result.reachability[np.isfinite(result.reachability)]
+        # In-cluster reachability is on the scale of the blob spread.
+        assert np.median(finite) < 2.0
+
+
+class TestDbscanEquivalence:
+    @pytest.mark.parametrize("eps", [2.0, 4.0, 8.0])
+    def test_cluster_count_matches_dbscan(self, eps):
+        points = blobs(seed=3)
+        result = optics(points, max_eps=10.0, min_pts=5)
+        d = dbscan(points, eps=eps, min_pts=5)
+        assert result.n_clusters_at(eps) == d.n_clusters
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-50, max_value=50),
+                st.floats(min_value=-50, max_value=50),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=1.0, max_value=10.0),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_noise_and_counts_match_dbscan(self, coords, eps, min_pts):
+        points = np.asarray(coords, dtype=np.float64)
+        result = optics(points, max_eps=eps, min_pts=min_pts)
+        labels = result.extract_dbscan(eps)
+        d = dbscan(points, eps=eps, min_pts=min_pts)
+        assert result.n_clusters_at(eps) == d.n_clusters
+        # Core points are never noise in either method.
+        assert not (labels[d.core_mask] == NOISE).any()
+
+    def test_single_ordering_replays_parameter_sweep(self):
+        # The OPTICS selling point: one ordering, many eps extractions.
+        points = blobs(seed=5, centers=((0, 0), (6, 0), (100, 0)))
+        result = optics(points, max_eps=20.0, min_pts=5)
+        tight = result.n_clusters_at(2.0)
+        loose = result.n_clusters_at(19.0)
+        assert tight >= loose  # merging as eps grows

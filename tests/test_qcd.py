@@ -1,0 +1,179 @@
+"""Tests for Algorithm 3 — Queue Context Disambiguation."""
+
+import pytest
+
+from repro.core.qcd import disambiguate, label_proportions, label_slot
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import QueueType, SlotFeatures
+
+#: Hand-built thresholds with easy round numbers.
+TH = QcdThresholds(
+    eta_wait=120.0,   # waits under 2 min signal a passenger queue
+    eta_dep=90.0,     # departures under 90 s apart signal a passenger queue
+    tau_arr=15.0,     # 1800 / 120
+    tau_dep=20.0,     # 1800 / 90
+    eta_dur=1620.0,   # 90% of a 30-minute slot
+    tau_ratio=0.84,
+)
+
+
+def feats(
+    wait=None, n_arr=0.0, queue=0.0, dep_interval=1800.0, n_dep=0.0, slot=0
+):
+    return SlotFeatures(
+        slot=slot,
+        mean_wait_s=wait,
+        n_arrivals=n_arr,
+        queue_length=queue,
+        mean_departure_interval_s=dep_interval,
+        n_departures=n_dep,
+    )
+
+
+class TestRoutine1:
+    def test_c2_many_arrivals_short_waits(self):
+        label = label_slot(
+            feats(wait=40.0, n_arr=25.0, queue=0.5, dep_interval=60.0, n_dep=25.0),
+            TH,
+        )
+        assert label.label is QueueType.C2
+        assert label.routine == 1
+
+    def test_c4_few_arrivals_long_waits(self):
+        label = label_slot(feats(wait=900.0, n_arr=3.0, queue=0.8), TH)
+        assert label.label is QueueType.C4
+        assert label.routine == 1
+
+    def test_c1_taxi_queue_fast_departures(self):
+        label = label_slot(
+            feats(wait=400.0, n_arr=25.0, queue=5.0, dep_interval=60.0, n_dep=28.0),
+            TH,
+        )
+        assert label.label is QueueType.C1
+        assert label.routine == 1
+
+    def test_c3_taxi_queue_slow_departures(self):
+        label = label_slot(
+            feats(wait=900.0, n_arr=8.0, queue=4.0, dep_interval=300.0, n_dep=6.0),
+            TH,
+        )
+        assert label.label is QueueType.C3
+        assert label.routine == 1
+
+    def test_queue_length_exactly_one_goes_to_taxi_branch(self):
+        label = label_slot(
+            feats(wait=400.0, n_arr=10.0, queue=1.0, dep_interval=60.0, n_dep=25.0),
+            TH,
+        )
+        assert label.label is QueueType.C1
+
+    def test_mixed_quadrant_unidentified(self):
+        # Many arrivals AND long waits: neither C2 nor C4, and no
+        # Routine 2 signal either.
+        label = label_slot(
+            feats(wait=500.0, n_arr=20.0, queue=0.9, dep_interval=1800.0, n_dep=1.0),
+            TH,
+        )
+        assert label.label is QueueType.UNIDENTIFIED
+        assert label.routine == 0
+
+    def test_no_waits_unidentified(self):
+        label = label_slot(feats(wait=None), TH)
+        assert label.label is QueueType.UNIDENTIFIED
+
+
+class TestRoutine2:
+    def test_c2_from_oncall_heavy_departures(self):
+        # Routine 1 cannot decide (few arrivals AND short waits); the
+        # departures are sustained (16 * 120 = 1920 > 1620) and mostly
+        # booking jobs (ratio 10/16 = 0.63 < 0.84) -> C2.
+        label = label_slot(
+            feats(
+                wait=80.0,
+                n_arr=10.0,
+                queue=0.6,
+                dep_interval=120.0,
+                n_dep=16.0,
+            ),
+            TH,
+        )
+        assert label.label is QueueType.C2
+        assert label.routine == 2
+
+    def test_c1_from_oncall_heavy_with_taxi_queue(self):
+        # Taxi-queue branch of Routine 1 undecided (n_dep < tau_dep but
+        # interval < eta_dep); sustained ONCALL-heavy departures with a
+        # standing taxi queue -> C1 via Routine 2.
+        label = label_slot(
+            feats(
+                wait=300.0,
+                n_arr=10.0,
+                queue=2.0,
+                dep_interval=89.0,
+                n_dep=19.0,  # 19 * 89 = 1691 > 1620; ratio 10/19 = 0.53
+            ),
+            TH,
+        )
+        assert label.label is QueueType.C1
+        assert label.routine == 2
+
+    def test_short_departure_span_not_sustained(self):
+        label = label_slot(
+            feats(wait=200.0, n_arr=4.0, queue=0.5, dep_interval=60.0, n_dep=6.0),
+            TH,
+        )
+        # 6 * 60 = 360 < 1620: Routine 2 must not fire.
+        assert label.routine != 2
+
+    def test_street_heavy_ratio_not_inferred(self):
+        label = label_slot(
+            feats(wait=200.0, n_arr=16.0, queue=0.5, dep_interval=120.0, n_dep=16.0),
+            TH,
+        )
+        # ratio = 1.0 >= tau_ratio.
+        assert label.label is not QueueType.C2 or label.routine == 1
+
+    def test_zero_departures_safe(self):
+        # Routine 1 undecided, Routine 2 must not divide by zero.
+        label = label_slot(feats(wait=80.0, n_arr=5.0, queue=0.0, n_dep=0.0), TH)
+        assert label.label is QueueType.UNIDENTIFIED
+
+
+class TestBatchAndProportions:
+    def test_disambiguate_labels_every_slot(self):
+        features = [feats(slot=i) for i in range(48)]
+        labels = disambiguate(features, TH)
+        assert len(labels) == 48
+        assert [l.slot for l in labels] == list(range(48))
+
+    def test_label_proportions_sum_to_one(self):
+        features = [
+            feats(wait=40.0, n_arr=25.0, queue=0.5, dep_interval=60.0, n_dep=25.0),
+            feats(wait=900.0, n_arr=3.0, queue=0.8, slot=1),
+            feats(slot=2),
+        ]
+        props = label_proportions(disambiguate(features, TH))
+        assert sum(props.values()) == pytest.approx(1.0)
+        assert props[QueueType.C2] == pytest.approx(1 / 3)
+        assert props[QueueType.C4] == pytest.approx(1 / 3)
+        assert props[QueueType.UNIDENTIFIED] == pytest.approx(1 / 3)
+
+    def test_empty_proportions(self):
+        props = label_proportions([])
+        assert all(v == 0.0 for v in props.values())
+
+
+class TestQueueTypeSemantics:
+    def test_flags(self):
+        assert QueueType.C1.has_taxi_queue and QueueType.C1.has_passenger_queue
+        assert not QueueType.C2.has_taxi_queue
+        assert QueueType.C2.has_passenger_queue
+        assert QueueType.C3.has_taxi_queue
+        assert not QueueType.C3.has_passenger_queue
+        assert not QueueType.C4.has_taxi_queue
+
+    def test_from_flags(self):
+        assert QueueType.from_flags(True, True) is QueueType.C1
+        assert QueueType.from_flags(False, True) is QueueType.C2
+        assert QueueType.from_flags(True, False) is QueueType.C3
+        assert QueueType.from_flags(False, False) is QueueType.C4

@@ -1,0 +1,129 @@
+"""Tests for the extended QCD routine (coverage extension)."""
+
+import pytest
+
+from repro.core.qcd import label_slot
+from repro.core.qcd_extended import (
+    ROUTINE_EXTENDED,
+    ExtendedPolicy,
+    disambiguate_extended,
+    label_slot_extended,
+)
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import QueueType, SlotFeatures
+
+TH = QcdThresholds(
+    eta_wait=120.0, eta_dep=90.0, tau_arr=15.0, tau_dep=20.0,
+    eta_dur=1620.0, tau_ratio=0.84,
+)
+
+
+def feats(wait=None, n_arr=0.0, queue=0.0, dep_interval=1800.0, n_dep=0.0):
+    return SlotFeatures(0, wait, n_arr, queue, dep_interval, n_dep)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExtendedPolicy(light_flow_fraction=0.7, sustained_fraction=0.6)
+        with pytest.raises(ValueError):
+            ExtendedPolicy(mid_factor=0.5)
+
+
+class TestRoutine3:
+    def test_never_overrides_paper_labels(self):
+        # A clear C2 by Routine 1 stays Routine-1 C2.
+        f = feats(wait=40.0, n_arr=25.0, queue=0.5, dep_interval=60.0, n_dep=25.0)
+        label = label_slot_extended(f, TH)
+        assert label == label_slot(f, TH)
+        assert label.routine == 1
+
+    def test_light_flow_quick_service_becomes_c4(self):
+        # 2 arrivals (< 15 * 0.25), short waits, no sustained departures:
+        # Routine 1 leaves it unidentified, Routine 3 calls C4.
+        f = feats(wait=50.0, n_arr=2.0, queue=0.1, n_dep=2.0,
+                  dep_interval=500.0)
+        assert label_slot(f, TH).label is QueueType.UNIDENTIFIED
+        label = label_slot_extended(f, TH)
+        assert label.label is QueueType.C4
+        assert label.routine == ROUTINE_EXTENDED
+
+    def test_sustained_quick_service_becomes_c2(self):
+        # 10 arrivals (>= 15 * 0.6 = 9) with short waits: near-C2.
+        f = feats(wait=50.0, n_arr=10.0, queue=0.4, n_dep=10.0,
+                  dep_interval=170.0)
+        assert label_slot(f, TH).label is QueueType.UNIDENTIFIED
+        assert label_slot_extended(f, TH).label is QueueType.C2
+
+    def test_mid_band_stays_unidentified(self):
+        # 6 arrivals: between the light (3.75) and sustained (9) cuts.
+        f = feats(wait=50.0, n_arr=6.0, queue=0.3, n_dep=6.0,
+                  dep_interval=290.0)
+        assert label_slot_extended(f, TH).label is QueueType.UNIDENTIFIED
+
+    def test_no_waits_stays_unidentified(self):
+        assert label_slot_extended(feats(), TH).label is (
+            QueueType.UNIDENTIFIED
+        )
+
+    def test_taxi_queue_moderate_cadence_c1(self):
+        # L >= 1 with cadence between eta_dep (90) and 1.5x (135), and a
+        # street-heavy arrival ratio (22/25 = 0.88 >= tau_ratio) so
+        # Routine 2 stays silent: Routine 3 leans C1.
+        f = feats(wait=300.0, n_arr=22.0, queue=2.0, n_dep=25.0,
+                  dep_interval=100.0)
+        assert label_slot(f, TH).label is QueueType.UNIDENTIFIED
+        assert label_slot_extended(f, TH).label is QueueType.C1
+
+    def test_taxi_queue_slow_cadence_c3(self):
+        # Same quadrant gap with a slow cadence (200 >= 135) -> C3.
+        f = feats(wait=600.0, n_arr=23.0, queue=2.0, n_dep=25.0,
+                  dep_interval=200.0)
+        assert label_slot(f, TH).label is QueueType.UNIDENTIFIED
+        assert label_slot_extended(f, TH).label is QueueType.C3
+
+    def test_slow_service_without_arrivals_ambiguous(self):
+        f = feats(wait=500.0, n_arr=20.0, queue=0.9, n_dep=1.0)
+        assert label_slot_extended(f, TH).label is QueueType.UNIDENTIFIED
+
+
+class TestBatch:
+    def test_disambiguate_extended_coverage_never_lower(self):
+        batch = [
+            feats(wait=50.0, n_arr=2.0, queue=0.1, n_dep=2.0, dep_interval=500.0),
+            feats(wait=40.0, n_arr=25.0, queue=0.5, dep_interval=60.0, n_dep=25.0),
+            feats(),
+        ]
+        from repro.core.qcd import disambiguate
+
+        paper = disambiguate(batch, TH)
+        extended = disambiguate_extended(batch, TH)
+        paper_unid = sum(
+            1 for l in paper if l.label is QueueType.UNIDENTIFIED
+        )
+        ext_unid = sum(
+            1 for l in extended if l.label is QueueType.UNIDENTIFIED
+        )
+        assert ext_unid <= paper_unid
+        # Paper-decided labels are untouched.
+        for p, e in zip(paper, extended):
+            if p.label is not QueueType.UNIDENTIFIED:
+                assert p == e
+
+    def test_on_simulated_day(self, small_analyses):
+        from repro.core.qcd import disambiguate
+
+        for analysis in small_analyses.values():
+            if analysis.thresholds is None:
+                continue
+            paper = disambiguate(analysis.features, analysis.thresholds)
+            extended = disambiguate_extended(
+                analysis.features, analysis.thresholds
+            )
+            paper_unid = sum(
+                1 for l in paper if l.label is QueueType.UNIDENTIFIED
+            )
+            ext_unid = sum(
+                1 for l in extended if l.label is QueueType.UNIDENTIFIED
+            )
+            assert ext_unid <= paper_unid

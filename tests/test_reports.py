@@ -1,0 +1,81 @@
+"""Tests for report generation (transition reports, proportions)."""
+
+import pytest
+
+from repro.core.engine import SpotAnalysis
+from repro.core.reports import (
+    citywide_proportions,
+    format_proportions,
+    format_transition_report,
+    merge_labels,
+    transition_report,
+)
+from repro.core.types import QueueSpot, QueueType, SlotLabel, TimeSlotGrid
+
+GRID = TimeSlotGrid.for_day(0.0)
+
+
+def labels(*values):
+    return [
+        SlotLabel(slot=i, label=qt, routine=1) for i, qt in enumerate(values)
+    ]
+
+
+def analysis(label_values):
+    return SpotAnalysis(
+        spot=QueueSpot("QS001", 103.8, 1.33, "Central", 200, 6.0),
+        wait_events=[],
+        features=[],
+        labels=labels(*label_values),
+        thresholds=None,
+    )
+
+
+class TestMergeLabels:
+    def test_merges_consecutive_runs(self):
+        spans = merge_labels(
+            labels(QueueType.C1, QueueType.C1, QueueType.C4, QueueType.C1)
+        )
+        assert [(s.start_slot, s.end_slot, s.label) for s in spans] == [
+            (0, 1, QueueType.C1),
+            (2, 2, QueueType.C4),
+            (3, 3, QueueType.C1),
+        ]
+
+    def test_empty(self):
+        assert merge_labels([]) == []
+
+    def test_time_range(self):
+        spans = merge_labels(labels(QueueType.C3, QueueType.C3))
+        assert spans[0].time_range(GRID) == "00:00-01:00"
+
+
+class TestTransitionReport:
+    def test_rows(self):
+        rows = transition_report(
+            analysis([QueueType.C1, QueueType.C1, QueueType.C2]), GRID
+        )
+        assert rows[0] == {"time": "00:00-01:00", "queue_type": "C1", "slots": "2"}
+        assert rows[1]["queue_type"] == "C2"
+
+    def test_format_contains_spot_and_types(self):
+        text = format_transition_report(
+            analysis([QueueType.C4] * 4), GRID
+        )
+        assert "QS001" in text
+        assert "C4" in text
+
+
+class TestProportions:
+    def test_citywide_aggregation(self):
+        a = analysis([QueueType.C1, QueueType.C2])
+        b = analysis([QueueType.C1, QueueType.UNIDENTIFIED])
+        props = citywide_proportions([a, b])
+        assert props[QueueType.C1] == pytest.approx(0.5)
+        assert props[QueueType.C2] == pytest.approx(0.25)
+        assert sum(props.values()) == pytest.approx(1.0)
+
+    def test_format_proportions(self):
+        text = format_proportions({QueueType.C1: 0.301, QueueType.C4: 0.331})
+        assert "C1" in text and "30.1%" in text
+        assert "Unidentified" in text

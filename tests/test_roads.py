@@ -1,0 +1,177 @@
+"""Tests for the optional road-network substrate."""
+
+import pytest
+
+from repro.geo.point import equirectangular_m
+from repro.sim.city import City
+from repro.sim.roads import RoadNetwork, split_polyline
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City.generate(seed=9, n_queue_spots=10, n_decoys=4)
+
+
+@pytest.fixture(scope="module")
+def roads(city):
+    return RoadNetwork(city, spacing_m=1500.0, seed=9)
+
+
+class TestConstruction:
+    def test_invalid_spacing(self, city):
+        with pytest.raises(ValueError):
+            RoadNetwork(city, spacing_m=0.0)
+
+    def test_nodes_cover_land_only(self, roads, city):
+        for _, data in roads.graph.nodes(data=True):
+            assert city.is_accessible(data["lon"], data["lat"])
+
+    def test_grid_scale(self, roads, city):
+        # ~50 km x 26 km at 1.5 km spacing -> several hundred nodes.
+        assert 300 < roads.node_count < 800
+
+    def test_edges_have_lengths(self, roads):
+        for _, _, data in roads.graph.edges(data=True):
+            assert data["length"] > 0
+
+    def test_mostly_connected(self, roads):
+        import networkx as nx
+
+        components = list(nx.connected_components(roads.graph))
+        assert max(len(c) for c in components) > roads.node_count * 0.9
+
+
+class TestRouting:
+    def test_route_endpoints_exact(self, roads, city):
+        import random
+
+        rng = random.Random(0)
+        a = city.random_land_point(rng)
+        b = city.random_land_point(rng)
+        route = roads.route(a[0], a[1], b[0], b[1])
+        assert route[0] == a
+        assert route[-1] == b
+        assert len(route) >= 2
+
+    def test_route_length_at_least_direct(self, roads, city):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(10):
+            a = city.random_land_point(rng)
+            b = city.random_land_point(rng)
+            direct = equirectangular_m(a[0], a[1], b[0], b[1])
+            routed = roads.path_length_m(roads.route(a[0], a[1], b[0], b[1]))
+            assert routed >= direct * 0.95  # snapping slack at endpoints
+
+    def test_detour_factor_reasonable(self, roads, city):
+        import random
+
+        rng = random.Random(2)
+        factors = []
+        for _ in range(10):
+            a = city.random_land_point(rng)
+            b = city.random_land_point(rng)
+            if equirectangular_m(a[0], a[1], b[0], b[1]) < 3000:
+                continue
+            factors.append(roads.detour_factor(a[0], a[1], b[0], b[1]))
+        assert factors
+        # Grid roads detour, but not absurdly (L1/L2 <= sqrt(2) + slack).
+        assert max(factors) < 2.2
+        assert min(factors) >= 1.0
+
+    def test_nearest_node_snaps(self, roads, city):
+        lon, lat = city.bbox.center
+        key = roads.nearest_node(lon, lat)
+        node = roads.graph.nodes[key]
+        d = equirectangular_m(lon, lat, node["lon"], node["lat"])
+        assert d < 3 * roads.spacing_m
+
+    def test_route_cache_consistency(self, roads, city):
+        import random
+
+        rng = random.Random(3)
+        a = city.random_land_point(rng)
+        b = city.random_land_point(rng)
+        r1 = roads.route(a[0], a[1], b[0], b[1])
+        r2 = roads.route(a[0], a[1], b[0], b[1])
+        assert r1 == r2
+
+    def test_travel_time_floor(self, roads, city):
+        lon, lat = city.bbox.center
+        _, seconds = roads.travel(lon, lat, lon, lat, speed_kmh=38.0)
+        assert seconds >= 20.0
+
+
+class TestSplitPolyline:
+    LINE = [(0.0, 0.0), (0.01, 0.0), (0.02, 0.0)]
+
+    def test_midpoint_split(self):
+        head, tail = split_polyline(self.LINE, 0.5)
+        assert head[-1] == tail[0]
+        assert head[-1][0] == pytest.approx(0.01, abs=1e-9)
+
+    def test_lengths_partition(self):
+        from repro.sim.roads import RoadNetwork as RN
+
+        for fraction in (0.2, 0.5, 0.8):
+            head, tail = split_polyline(self.LINE, fraction)
+            total = RN.path_length_m(self.LINE)
+            assert RN.path_length_m(head) == pytest.approx(
+                total * fraction, rel=1e-6
+            )
+            assert RN.path_length_m(head) + RN.path_length_m(tail) == (
+                pytest.approx(total, rel=1e-6)
+            )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_polyline(self.LINE, 0.0)
+        with pytest.raises(ValueError):
+            split_polyline(self.LINE, 1.0)
+        with pytest.raises(ValueError):
+            split_polyline([(0.0, 0.0)], 0.5)
+
+
+class TestFleetIntegration:
+    def test_roads_day_reduces_water_records(self):
+        from repro.sim import SimulationConfig, simulate_day
+
+        base = dict(
+            seed=3, fleet_size=80, n_queue_spots=6, n_decoy_landmarks=3
+        )
+        straight = simulate_day(SimulationConfig(**base))
+        routed = simulate_day(
+            SimulationConfig(use_road_network=True, **base)
+        )
+
+        def water_fraction(output):
+            in_water = sum(
+                1
+                for r in output.store.iter_records()
+                if any(w.contains(r.lon, r.lat) for w in output.city.water)
+            )
+            return in_water / max(1, len(output.store))
+
+        assert water_fraction(routed) <= water_fraction(straight)
+        assert routed.counters["trips"] > 0
+
+    def test_roads_day_is_analysable(self):
+        from repro.core.engine import EngineConfig, QueueAnalyticEngine
+        from repro.sim import SimulationConfig, simulate_day
+
+        config = SimulationConfig(
+            seed=5, fleet_size=120, n_queue_spots=8, n_decoy_landmarks=3,
+            use_road_network=True,
+        )
+        output = simulate_day(config)
+        city = output.city
+        engine = QueueAnalyticEngine(
+            zones=city.zones,
+            projection=city.projection,
+            config=EngineConfig(observed_fraction=config.observed_fraction),
+            city_bbox=city.bbox,
+            inaccessible=city.water,
+        )
+        detection = engine.detect_spots(output.store)
+        assert len(detection.spots) >= 3

@@ -1,0 +1,113 @@
+"""Tests for the synthetic city generator."""
+
+import random
+
+import pytest
+
+from repro.geo.point import equirectangular_m
+from repro.sim.city import (
+    DEFAULT_CITY_BBOX,
+    MIN_SPOT_SEPARATION_M,
+    City,
+)
+from repro.sim.landmarks import TABLE4_SHARES, LandmarkCategory
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City.generate(seed=9, n_queue_spots=40, n_decoys=15)
+
+
+class TestGeneration:
+    def test_spot_and_decoy_counts(self, city):
+        assert len(city.queue_spot_landmarks) == 40
+        assert len(city.decoy_landmarks) == 15
+        assert len(city.landmarks) == 55
+
+    def test_landmarks_on_land(self, city):
+        for lm in city.landmarks:
+            assert city.is_accessible(lm.lon, lm.lat)
+
+    def test_minimum_separation(self, city):
+        lms = city.landmarks
+        for i, a in enumerate(lms):
+            for b in lms[i + 1 :]:
+                assert (
+                    equirectangular_m(a.lon, a.lat, b.lon, b.lat)
+                    >= MIN_SPOT_SEPARATION_M - 1.0
+                )
+
+    def test_category_mix_tracks_table4(self, city):
+        spots = city.queue_spot_landmarks
+        mrt = sum(1 for lm in spots if lm.category is LandmarkCategory.MRT_BUS)
+        share = mrt / len(spots)
+        assert abs(share - TABLE4_SHARES[LandmarkCategory.MRT_BUS]) < 0.15
+
+    def test_at_least_one_airport(self, city):
+        assert any(
+            lm.category is LandmarkCategory.AIRPORT_FERRY
+            for lm in city.queue_spot_landmarks
+        )
+
+    def test_exactly_one_weekend_only_leisure_park(self, city):
+        parks = [
+            lm for lm in city.queue_spot_landmarks if lm.weekend_only
+        ]
+        assert len(parks) == 1
+        assert parks[0].category is LandmarkCategory.LEISURE_PARK
+
+    def test_central_zone_is_densest(self, city):
+        counts = {}
+        for lm in city.queue_spot_landmarks:
+            counts[lm.zone] = counts.get(lm.zone, 0) + 1
+        assert counts.get("Central", 0) == max(counts.values())
+
+    def test_zone_field_matches_partition(self, city):
+        for lm in city.landmarks:
+            assert city.zones.classify_or_nearest(lm.lon, lm.lat) == lm.zone
+
+    def test_deterministic_for_seed(self):
+        a = City.generate(seed=4, n_queue_spots=10, n_decoys=3)
+        b = City.generate(seed=4, n_queue_spots=10, n_decoys=3)
+        assert [(lm.lon, lm.lat) for lm in a.landmarks] == [
+            (lm.lon, lm.lat) for lm in b.landmarks
+        ]
+
+    def test_different_seed_differs(self):
+        a = City.generate(seed=4, n_queue_spots=10, n_decoys=3)
+        b = City.generate(seed=5, n_queue_spots=10, n_decoys=3)
+        assert [(lm.lon, lm.lat) for lm in a.landmarks] != [
+            (lm.lon, lm.lat) for lm in b.landmarks
+        ]
+
+
+class TestGeography:
+    def test_default_bbox_extent(self):
+        assert DEFAULT_CITY_BBOX.width_m == pytest.approx(50_000, rel=0.02)
+
+    def test_water_is_inaccessible(self, city):
+        strait = city.water[0]
+        lon, lat = strait.center
+        assert not city.is_accessible(lon, lat)
+
+    def test_outside_bbox_inaccessible(self, city):
+        assert not city.is_accessible(0.0, 0.0)
+
+    def test_random_land_point(self, city):
+        rng = random.Random(0)
+        for _ in range(50):
+            lon, lat = city.random_land_point(rng)
+            assert city.is_accessible(lon, lat)
+
+    def test_random_land_point_in_zone(self, city):
+        rng = random.Random(0)
+        lon, lat = city.random_land_point(rng, zone="East")
+        assert city.zones.classify_or_nearest(lon, lat) == "East"
+
+    def test_zone_of(self, city):
+        lon, lat = city.bbox.center
+        assert city.zone_of(lon, lat) in ("Central", "North", "West", "East")
+
+    def test_projection_centered(self, city):
+        lon, lat = city.bbox.center
+        assert city.projection.to_xy(lon, lat) == (0.0, 0.0)

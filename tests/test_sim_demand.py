@@ -1,0 +1,143 @@
+"""Tests for the demand/supply profiles."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.demand import (
+    CATEGORY_PROFILES,
+    DemandModel,
+    hourly_table,
+    _profile,
+)
+from repro.sim.landmarks import Landmark, LandmarkCategory
+
+
+def landmark(category, weekend_only=False):
+    return Landmark(
+        landmark_id="LM001",
+        name="test",
+        category=category,
+        lon=103.8,
+        lat=1.33,
+        zone="Central",
+        weekend_only=weekend_only,
+    )
+
+
+class TestProfileHelper:
+    def test_base_everywhere(self):
+        prof = _profile(0.1, [])
+        assert len(prof) == 24
+        assert all(v == 0.1 for v in prof)
+
+    def test_bump_window(self):
+        prof = _profile(0.1, [(7, 10, 1.0)])
+        assert prof[6] == 0.1
+        assert prof[7] == prof[9] == 1.0
+        assert prof[10] == 0.1
+
+    def test_later_bump_wins(self):
+        prof = _profile(0.0, [(0, 24, 0.5), (12, 13, 1.0)])
+        assert prof[12] == 1.0
+        assert prof[11] == 0.5
+
+
+class TestCategoryProfiles:
+    def test_every_category_has_profile(self):
+        for category in LandmarkCategory:
+            assert category in CATEGORY_PROFILES
+
+    def test_profiles_are_24_hours(self):
+        for prof in CATEGORY_PROFILES.values():
+            assert len(prof.pax_weekday) == 24
+            assert len(prof.taxi_weekend) == 24
+
+    def test_airport_has_multiple_bays(self):
+        assert CATEGORY_PROFILES[LandmarkCategory.AIRPORT_FERRY].bays >= 2
+
+    def test_airport_taxi_oversupply(self):
+        prof = CATEGORY_PROFILES[LandmarkCategory.AIRPORT_FERRY]
+        assert prof.taxi_peak > prof.pax_peak
+
+    def test_office_taxi_undersupply(self):
+        prof = CATEGORY_PROFILES[LandmarkCategory.OFFICE]
+        assert prof.taxi_peak < prof.pax_peak
+        assert prof.booking_frac > 0.15
+
+
+class TestDemandModel:
+    weekday = DemandModel(SimulationConfig(day_of_week=0))
+    sunday = DemandModel(SimulationConfig(day_of_week=6))
+
+    def test_rates_nonnegative(self):
+        lm = landmark(LandmarkCategory.MRT_BUS)
+        for rates in hourly_table(self.weekday, lm):
+            assert rates.pax_per_s >= 0
+            assert rates.taxi_per_s >= 0
+            assert rates.booking_per_s >= 0
+            assert rates.bays >= 1
+
+    def test_hour_validation(self):
+        with pytest.raises(ValueError):
+            self.weekday.spot_rates(landmark(LandmarkCategory.MRT_BUS), 24)
+
+    def test_mrt_commuter_peak(self):
+        lm = landmark(LandmarkCategory.MRT_BUS)
+        peak = self.weekday.spot_rates(lm, 8).pax_per_s
+        lull = self.weekday.spot_rates(lm, 3).pax_per_s
+        assert peak > 5 * lull
+
+    def test_office_quiet_on_sunday(self):
+        lm = landmark(LandmarkCategory.OFFICE)
+        weekday_peak = self.weekday.spot_rates(lm, 18).pax_per_s
+        sunday_same_hour = self.sunday.spot_rates(lm, 18).pax_per_s
+        assert sunday_same_hour < weekday_peak / 3
+
+    def test_weekend_only_landmark_suppressed_on_weekday(self):
+        park = landmark(LandmarkCategory.LEISURE_PARK, weekend_only=True)
+        weekday_noon = self.weekday.spot_rates(park, 13).pax_per_s
+        sunday_noon = self.sunday.spot_rates(park, 13).pax_per_s
+        assert sunday_noon > 10 * weekday_noon
+
+    def test_booking_rate_scales_with_pax(self):
+        lm = landmark(LandmarkCategory.OFFICE)
+        rates = self.weekday.spot_rates(lm, 18)
+        prof = CATEGORY_PROFILES[LandmarkCategory.OFFICE]
+        assert rates.booking_per_s == pytest.approx(
+            rates.pax_per_s * prof.booking_frac
+        )
+
+    def test_spot_daily_pax_in_table6_range(self):
+        # Paper Table 6: spots see roughly 100-500 pickup events per day.
+        for category in (
+            LandmarkCategory.MRT_BUS,
+            LandmarkCategory.MALL_HOTEL,
+            LandmarkCategory.AIRPORT_FERRY,
+        ):
+            daily = self.weekday.spot_daily_pax(landmark(category))
+            assert 100 < daily < 1200
+
+    def test_street_hail_central_highest(self):
+        central = self.weekday.street_hail_rate("Central", 8)
+        north = self.weekday.street_hail_rate("North", 8)
+        assert central > north
+
+    def test_street_hail_weekend_central_dip(self):
+        weekday = self.weekday.street_hail_rate("Central", 13)
+        sunday = self.sunday.street_hail_rate("Central", 13)
+        assert sunday < weekday
+
+    def test_fleet_scaling(self):
+        small = DemandModel(SimulationConfig(fleet_size=300))
+        big = DemandModel(SimulationConfig(fleet_size=1500))
+        assert big.street_hail_rate("Central", 8) == pytest.approx(
+            5 * small.street_hail_rate("Central", 8)
+        )
+        # Spot rates are absolute (per-spot volumes are Table 6 facts).
+        lm = landmark(LandmarkCategory.MRT_BUS)
+        assert big.spot_rates(lm, 8).pax_per_s == pytest.approx(
+            DemandModel(SimulationConfig(fleet_size=300)).spot_rates(lm, 8).pax_per_s
+        )
+
+    def test_duty_fraction_day_vs_night(self):
+        assert self.weekday.duty_fraction(8) > self.weekday.duty_fraction(2)

@@ -1,0 +1,183 @@
+"""Invariant tests for the fleet simulator (on the shared small day)."""
+
+import pytest
+
+from repro.core.types import QueueType
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import simulate_day
+from repro.sim.taxi import TaxiAgent, TaxiStatus
+from repro.states.states import TaxiState
+
+
+class TestSimulationOutput:
+    def test_counters_consistent(self, small_day):
+        c = small_day.counters
+        assert c["trips"] == (
+            c["spot_pickups"] + c["street_pickups"] + c["booking_pickups"]
+        )
+        assert c["trips"] > 0
+
+    def test_observed_fraction_respected(self, small_day, small_config):
+        observed = small_day.store.taxi_count
+        assert observed < small_config.fleet_size
+        expected = small_config.fleet_size * small_config.observed_fraction
+        assert abs(observed - expected) < small_config.fleet_size * 0.15
+
+    def test_records_per_taxi_roughly_paper_scale(self, small_day):
+        # Paper: ~848 records per taxi per day.
+        stats = small_day.store.stats()
+        assert 200 < stats["records_per_taxi"] < 2000
+
+    def test_per_taxi_records_time_ordered(self, small_day):
+        for taxi_id in small_day.store.taxi_ids[:30]:
+            records = small_day.store.records_of(taxi_id)
+            ts = [r.ts for r in records]
+            assert ts == sorted(ts)
+
+    def test_records_within_day_window(self, small_day, small_config):
+        lo, hi = small_day.store.time_span
+        assert lo >= small_config.day_start_ts
+        assert hi <= small_config.day_end_ts + 120.0
+
+    def test_most_records_inside_city(self, small_day):
+        inside = sum(
+            1
+            for r in small_day.store.iter_records()
+            if small_day.city.bbox.contains(r.lon, r.lat)
+        )
+        assert inside / len(small_day.store) > 0.98
+
+    def test_all_eleven_states_appear(self, small_day):
+        seen = {r.state for r in small_day.store.iter_records()}
+        assert seen == set(TaxiState)
+
+    def test_ground_truth_covers_all_spots_and_slots(self, small_day, small_config):
+        truth = small_day.ground_truth
+        assert len(truth.spots) == small_config.n_queue_spots
+        for spot in truth.spots.values():
+            assert len(spot.slots) == truth.grid.n_slots
+
+    def test_ground_truth_has_multiple_contexts(self, small_day):
+        counts = small_day.ground_truth.label_counts()
+        present = [qt for qt, n in counts.items() if n > 0]
+        assert QueueType.C4 in present
+        assert len(present) >= 3
+
+    def test_monitor_readings_cadence(self, small_day, small_config):
+        per_spot = {}
+        for reading in small_day.monitor_readings:
+            per_spot.setdefault(reading.spot_id, []).append(reading)
+        expected = int(86400 / small_config.monitor_interval_s)
+        for readings in per_spot.values():
+            assert len(readings) == expected
+            assert all(r.taxi_count >= 0 for r in readings)
+
+    def test_failed_bookings_inside_city(self, small_day):
+        for booking in small_day.failed_bookings:
+            assert small_day.city.bbox.expanded(0.02).contains(
+                booking.lon, booking.lat
+            )
+
+    def test_deterministic_for_seed(self, small_config):
+        a = simulate_day(small_config)
+        b = simulate_day(small_config)
+        assert len(a.store) == len(b.store)
+        assert a.counters == b.counters
+
+    def test_weekend_day_differs(self, small_config):
+        from dataclasses import replace
+
+        sunday = simulate_day(replace(small_config, day_of_week=6))
+        weekday_trips = simulate_day(small_config).counters["trips"]
+        assert sunday.counters["trips"] != weekday_trips
+
+
+class TestBehavioursPresent:
+    """The log must contain every behaviour the analytics must handle."""
+
+    def test_busy_cherry_picking_present(self, small_day):
+        found = False
+        for taxi_id in small_day.store.taxi_ids:
+            records = small_day.store.records_of(taxi_id)
+            for a, b in zip(records, records[1:]):
+                if a.state is TaxiState.BUSY and b.state is TaxiState.POB:
+                    found = True
+        assert found, "no BUSY -> POB cherry-picking in the logs"
+
+    def test_noshow_present(self, small_day):
+        assert small_day.counters["noshows"] > 0
+
+    def test_taxi_reneges_present(self, small_day):
+        assert small_day.counters["taxi_reneges"] > 0
+
+    def test_queue_poaching_present(self, small_day):
+        assert small_day.counters["poached"] > 0
+
+    def test_low_speed_crawls_present(self, small_day):
+        low = sum(
+            1 for r in small_day.store.iter_records() if r.speed <= 10.0
+        )
+        assert low / len(small_day.store) > 0.1
+
+
+class TestTaxiAgent:
+    def _agent(self):
+        import random
+
+        return TaxiAgent(
+            "SH0001A", 103.8, 1.33, SimulationConfig(), random.Random(1)
+        )
+
+    def test_power_cycle_records(self):
+        agent = self._agent()
+        agent.power_on(100.0)
+        assert agent.status is TaxiStatus.IDLE
+        agent.end_idle(5000.0)
+        agent.power_off(5000.0)
+        assert agent.status is TaxiStatus.OFF_DUTY
+        states = [r.state for r in agent.records]
+        assert states[0] is TaxiState.POWEROFF
+        assert states[3] is TaxiState.FREE
+        assert states[-1] is TaxiState.POWEROFF
+
+    def test_emit_drive_interpolates(self):
+        agent = self._agent()
+        agent.emit_drive(0.0, 600.0, 103.9, 1.40, TaxiState.POB)
+        assert agent.lon == 103.9
+        assert len(agent.records) >= 5
+        lons = [r.lon for r in agent.records]
+        assert lons == sorted(lons)
+
+    def test_emit_crawl_low_speeds(self):
+        agent = self._agent()
+        agent.emit_crawl(
+            103.8, 1.33, 0.0, 300.0, [(0.0, TaxiState.FREE)]
+        )
+        assert all(r.speed <= 8.0 for r in agent.records)
+        assert len(agent.records) >= 2
+
+    def test_emit_crawl_state_points(self):
+        agent = self._agent()
+        agent.emit_crawl(
+            103.8, 1.33, 0.0, 120.0,
+            [(0.0, TaxiState.FREE), (60.0, TaxiState.BUSY)],
+        )
+        states = [r.state for r in agent.records]
+        assert TaxiState.FREE in states
+        assert TaxiState.BUSY in states
+
+    def test_emit_crawl_rejects_late_state_points(self):
+        agent = self._agent()
+        with pytest.raises(ValueError):
+            agent.emit_crawl(103.8, 1.33, 0.0, 60.0, [(10.0, TaxiState.FREE)])
+
+    def test_long_wait_record_volume_bounded(self):
+        agent = self._agent()
+        agent.emit_crawl(
+            103.8, 1.33, 0.0, 7200.0, [(0.0, TaxiState.FREE)]
+        )
+        assert len(agent.records) < 60
+
+    def test_travel_time_floor(self):
+        agent = self._agent()
+        assert agent.travel_time_s(103.8, 1.33) >= 20.0

@@ -1,0 +1,127 @@
+"""Tests for ground-truth bookkeeping (step functions, true labels)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.sim.ground_truth import SpotTruth, StepFunction
+from repro.sim.landmarks import Landmark, LandmarkCategory
+
+
+class TestStepFunction:
+    def test_initial_value(self):
+        f = StepFunction(0.0, value=2)
+        assert f.current == 2
+        assert f.value_at(100.0) == 2
+
+    def test_set_and_value_at(self):
+        f = StepFunction(0.0)
+        f.set(10.0, 3)
+        f.set(20.0, 1)
+        assert f.value_at(5.0) == 0
+        assert f.value_at(10.0) == 3
+        assert f.value_at(15.0) == 3
+        assert f.value_at(25.0) == 1
+
+    def test_add(self):
+        f = StepFunction(0.0)
+        assert f.add(5.0, +2) == 2
+        assert f.add(10.0, -1) == 1
+
+    def test_negative_value_rejected(self):
+        f = StepFunction(0.0)
+        with pytest.raises(ValueError):
+            f.add(5.0, -1)
+
+    def test_out_of_order_rejected(self):
+        f = StepFunction(0.0)
+        f.set(10.0, 1)
+        with pytest.raises(ValueError):
+            f.set(5.0, 2)
+
+    def test_small_reorder_clamped_in_add(self):
+        f = StepFunction(0.0)
+        f.add(10.0, +1)
+        f.add(9.5, +1)  # within the 2 s tolerance
+        assert f.current == 2
+
+    def test_same_time_update_overwrites(self):
+        f = StepFunction(0.0)
+        f.set(10.0, 1)
+        f.set(10.0, 4)
+        assert f.value_at(10.0) == 4
+
+    def test_mean_over_simple(self):
+        f = StepFunction(0.0)
+        f.set(10.0, 2)
+        # 0 for 10 s, 2 for 10 s -> mean 1 over [0, 20).
+        assert f.mean_over(0.0, 20.0) == pytest.approx(1.0)
+
+    def test_mean_over_interval_before_changes(self):
+        f = StepFunction(0.0, value=5)
+        assert f.mean_over(100.0, 200.0) == pytest.approx(5.0)
+
+    def test_mean_over_empty_interval_rejected(self):
+        f = StepFunction(0.0)
+        with pytest.raises(ValueError):
+            f.mean_over(10.0, 10.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_mean_bounded_by_extremes(self, updates):
+        f = StepFunction(0.0)
+        values = [0]
+        for ts, value in sorted(updates):
+            f.set(ts, value)
+            values.append(value)
+        mean = f.mean_over(0.0, 1500.0)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestSpotTruth:
+    def _truth(self):
+        lm = Landmark(
+            "LM001", "t", LandmarkCategory.MRT_BUS, 103.8, 1.33, "Central"
+        )
+        return SpotTruth(
+            spot_id="LM001",
+            landmark=lm,
+            taxi_queue=StepFunction(0.0),
+            pax_queue=StepFunction(0.0),
+        )
+
+    def test_finalize_labels(self):
+        truth = self._truth()
+        # Taxi queue of 2 throughout slot 0; pax queue of 2 in slot 1.
+        truth.taxi_queue.set(0.0, 2)
+        truth.taxi_queue.set(1800.0, 0)
+        truth.pax_queue.set(1800.0, 2)
+        truth.pax_queue.set(3600.0, 0)
+        grid = TimeSlotGrid(0.0, 7200.0, 1800.0)
+        truth.finalize(grid, taxi_threshold=1.0, pax_threshold=1.0)
+        labels = [slot.label for slot in truth.slots]
+        assert labels == [
+            QueueType.C3,
+            QueueType.C2,
+            QueueType.C4,
+            QueueType.C4,
+        ]
+
+    def test_finalize_c1(self):
+        truth = self._truth()
+        truth.taxi_queue.set(0.0, 3)
+        truth.pax_queue.set(0.0, 3)
+        grid = TimeSlotGrid(0.0, 1800.0, 1800.0)
+        truth.finalize(grid, 1.0, 1.0)
+        assert truth.slots[0].label is QueueType.C1
+        assert truth.slots[0].mean_taxi_queue == pytest.approx(3.0)

@@ -1,0 +1,131 @@
+"""Tests for the log-noise injector (section 6.1.1 error classes)."""
+
+import pytest
+
+from repro.sim.config import NoiseConfig
+from repro.sim.noise import NoiseInjector, expected_error_fraction
+from repro.states.states import TaxiState
+from repro.trace.record import MdtRecord
+
+
+def rec(ts, state=TaxiState.FREE, speed=30.0):
+    return MdtRecord(ts, "A", 103.8, 1.33, speed, state)
+
+
+def stream(n=200):
+    """A plausible clean stream with a PAYMENT every 10 records."""
+    out = []
+    for i in range(n):
+        if i % 10 == 9:
+            out.append(rec(float(i * 30), TaxiState.PAYMENT, 0.0))
+        elif i % 10 == 8:
+            out.append(rec(float(i * 30), TaxiState.POB))
+        else:
+            out.append(rec(float(i * 30)))
+    return out
+
+
+class TestChannels:
+    def test_disabled_noise_is_identity(self):
+        injector = NoiseInjector(NoiseConfig(enabled=False), seed=1)
+        records = stream(50)
+        assert injector.apply(records) == records
+
+    def test_duplicates_are_exact_copies(self):
+        config = NoiseConfig(
+            duplicate_prob=1.0,
+            spurious_free_prob=0.0,
+            gps_outlier_prob=0.0,
+            drop_arrived_prob=0.0,
+            drop_stc_prob=0.0,
+            gps_jitter_m=0.0,
+        )
+        out = NoiseInjector(config, seed=1).apply(stream(10))
+        assert len(out) == 20
+        for a, b in zip(out[::2], out[1::2]):
+            assert a == b
+
+    def test_spurious_free_pattern(self):
+        config = NoiseConfig(
+            duplicate_prob=0.0,
+            spurious_free_prob=1.0,
+            gps_outlier_prob=0.0,
+            drop_arrived_prob=0.0,
+            drop_stc_prob=0.0,
+            gps_jitter_m=0.0,
+        )
+        records = [rec(0.0, TaxiState.POB), rec(100.0, TaxiState.PAYMENT),
+                   rec(200.0, TaxiState.FREE)]
+        out = NoiseInjector(config, seed=1).apply(records)
+        states = [r.state for r in out]
+        assert states == [
+            TaxiState.POB,
+            TaxiState.PAYMENT,
+            TaxiState.FREE,   # spurious
+            TaxiState.PAYMENT,  # spurious
+            TaxiState.FREE,
+        ]
+
+    def test_gps_outliers_move_far(self):
+        config = NoiseConfig(
+            duplicate_prob=0.0,
+            spurious_free_prob=0.0,
+            gps_outlier_prob=1.0,
+            drop_arrived_prob=0.0,
+            drop_stc_prob=0.0,
+            gps_jitter_m=0.0,
+            gps_outlier_km=30.0,
+        )
+        out = NoiseInjector(config, seed=1).apply([rec(0.0)])
+        from repro.geo.point import equirectangular_m
+
+        d = equirectangular_m(103.8, 1.33, out[0].lon, out[0].lat)
+        assert d > 10_000
+
+    def test_jitter_is_small(self):
+        config = NoiseConfig(
+            duplicate_prob=0.0,
+            spurious_free_prob=0.0,
+            gps_outlier_prob=0.0,
+            drop_arrived_prob=0.0,
+            drop_stc_prob=0.0,
+            gps_jitter_m=4.0,
+        )
+        out = NoiseInjector(config, seed=1).apply(stream(100))
+        from repro.geo.point import equirectangular_m
+
+        dists = [equirectangular_m(103.8, 1.33, r.lon, r.lat) for r in out]
+        assert max(dists) < 50.0
+        assert any(d > 0.1 for d in dists)
+
+    def test_arrived_records_dropped(self):
+        config = NoiseConfig(
+            duplicate_prob=0.0,
+            spurious_free_prob=0.0,
+            gps_outlier_prob=0.0,
+            drop_arrived_prob=1.0,
+            drop_stc_prob=0.0,
+            gps_jitter_m=0.0,
+        )
+        records = [rec(0.0, TaxiState.ONCALL), rec(30.0, TaxiState.ARRIVED),
+                   rec(60.0, TaxiState.POB)]
+        out = NoiseInjector(config, seed=1).apply(records)
+        assert [r.state for r in out] == [TaxiState.ONCALL, TaxiState.POB]
+
+    def test_deterministic_per_seed(self):
+        records = stream(100)
+        a = NoiseInjector(NoiseConfig(), seed=5).apply(records)
+        b = NoiseInjector(NoiseConfig(), seed=5).apply(records)
+        assert a == b
+
+
+class TestExpectedErrorFraction:
+    def test_default_near_paper(self):
+        frac = expected_error_fraction(NoiseConfig())
+        assert 0.01 < frac < 0.05
+
+    def test_zero_noise(self):
+        config = NoiseConfig(
+            duplicate_prob=0.0, spurious_free_prob=0.0, gps_outlier_prob=0.0
+        )
+        assert expected_error_fraction(config) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the multi-day stability harness (Fig. 8/9, Tables 5/6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import (
+    hausdorff_matrix,
+    pickup_counts_table,
+    run_week,
+    weekly_type_proportions,
+    zone_counts_by_day,
+)
+from repro.core.types import QueueType
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def mini_week():
+    """A three-day 'week' (Mon, Tue, Sun) at minimal scale."""
+    base = SimulationConfig(
+        seed=21, fleet_size=120, n_queue_spots=8, n_decoy_landmarks=4
+    )
+    return run_week(base, disambiguate=True, days=(0, 1, 6))
+
+
+class TestRunWeek:
+    def test_day_results_structure(self, mini_week):
+        assert [r.day_of_week for r in mini_week] == [0, 1, 6]
+        assert [r.day_name for r in mini_week] == ["Mon", "Tue", "Sun"]
+        for result in mini_week:
+            assert len(result.detection.spots) > 0
+            assert result.analyses is not None
+
+    def test_same_city_reused(self, mini_week):
+        cities = {id(r.output.city) for r in mini_week}
+        assert len(cities) == 1
+
+    def test_day_timestamps_disjoint(self, mini_week):
+        spans = [r.output.store.time_span for r in mini_week]
+        for (_, hi), (lo2, _) in zip(spans, spans[1:]):
+            assert hi <= lo2
+
+
+class TestDerivedTables:
+    def test_zone_counts(self, mini_week):
+        table = zone_counts_by_day(mini_week)
+        for counts in table.values():
+            assert len(counts) == 3
+            assert all(c >= 0 for c in counts)
+        total_day0 = sum(counts[0] for counts in table.values())
+        assert total_day0 == len(mini_week[0].detection.spots)
+
+    def test_hausdorff_matrix(self, mini_week):
+        matrix = hausdorff_matrix(mini_week)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert (matrix >= 0).all()
+
+    def test_pickup_counts_table(self, mini_week):
+        table = pickup_counts_table(mini_week)
+        assert "Working Day" in table
+        assert "Weekend Day" in table
+        for zone_avgs in table.values():
+            for avg in zone_avgs.values():
+                assert avg > 0
+
+    def test_weekly_proportions(self, mini_week):
+        series = weekly_type_proportions(mini_week)
+        assert set(series) == {"Mon", "Tue", "Sun"}
+        for props in series.values():
+            assert sum(props.values()) == pytest.approx(1.0)
+            assert all(0.0 <= v <= 1.0 for v in props.values())
+
+    def test_weekly_proportions_requires_tier2(self):
+        base = SimulationConfig(
+            seed=22, fleet_size=80, n_queue_spots=5, n_decoy_landmarks=2
+        )
+        results = run_week(base, disambiguate=False, days=(0,))
+        with pytest.raises(ValueError, match="no tier-2"):
+            weekly_type_proportions(results)
+
+
+class TestQueueTypeCoverage:
+    def test_multiple_types_over_week(self, mini_week):
+        seen = set()
+        for result in mini_week:
+            for analysis in result.analyses.values():
+                for label in analysis.labels:
+                    seen.add(label.label)
+        assert QueueType.UNIDENTIFIED in seen
+        assert len(seen - {QueueType.UNIDENTIFIED}) >= 2

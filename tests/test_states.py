@@ -1,0 +1,100 @@
+"""Tests for the taxi state model (paper Table 1, Definitions 5.1-5.3)."""
+
+import pytest
+
+from repro.states.states import (
+    NON_OPERATIONAL_STATES,
+    OCCUPIED_STATES,
+    UNOCCUPIED_STATES,
+    TaxiState,
+    is_non_operational,
+    is_occupied,
+    is_unoccupied,
+    parse_state,
+)
+
+
+class TestStateSets:
+    def test_eleven_states_exist(self):
+        assert len(TaxiState) == 11
+
+    def test_occupied_set_matches_definition_5_1(self):
+        assert OCCUPIED_STATES == {
+            TaxiState.POB,
+            TaxiState.STC,
+            TaxiState.PAYMENT,
+        }
+
+    def test_unoccupied_set_matches_definition_5_2(self):
+        assert UNOCCUPIED_STATES == {
+            TaxiState.FREE,
+            TaxiState.ONCALL,
+            TaxiState.ARRIVED,
+            TaxiState.NOSHOW,
+        }
+
+    def test_non_operational_set_matches_definition_5_3(self):
+        assert NON_OPERATIONAL_STATES == {
+            TaxiState.BREAK,
+            TaxiState.OFFLINE,
+            TaxiState.POWEROFF,
+        }
+
+    def test_busy_belongs_to_no_set(self):
+        busy = TaxiState.BUSY
+        assert not is_occupied(busy)
+        assert not is_unoccupied(busy)
+        assert not is_non_operational(busy)
+
+    def test_sets_are_disjoint(self):
+        assert not OCCUPIED_STATES & UNOCCUPIED_STATES
+        assert not OCCUPIED_STATES & NON_OPERATIONAL_STATES
+        assert not UNOCCUPIED_STATES & NON_OPERATIONAL_STATES
+
+    def test_sets_plus_busy_cover_all_states(self):
+        union = (
+            OCCUPIED_STATES
+            | UNOCCUPIED_STATES
+            | NON_OPERATIONAL_STATES
+            | {TaxiState.BUSY}
+        )
+        assert union == set(TaxiState)
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("state", list(OCCUPIED_STATES))
+    def test_is_occupied(self, state):
+        assert is_occupied(state)
+        assert not is_unoccupied(state)
+
+    @pytest.mark.parametrize("state", list(UNOCCUPIED_STATES))
+    def test_is_unoccupied(self, state):
+        assert is_unoccupied(state)
+        assert not is_non_operational(state)
+
+    @pytest.mark.parametrize("state", list(NON_OPERATIONAL_STATES))
+    def test_is_non_operational(self, state):
+        assert is_non_operational(state)
+        assert not is_occupied(state)
+
+
+class TestParseState:
+    def test_parses_exact_name(self):
+        assert parse_state("POB") is TaxiState.POB
+
+    def test_parses_lowercase(self):
+        assert parse_state("free") is TaxiState.FREE
+
+    def test_parses_with_whitespace(self):
+        assert parse_state("  ONCALL \n") is TaxiState.ONCALL
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(ValueError, match="unknown taxi state"):
+            parse_state("TELEPORTING")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_state("")
+
+    def test_str_of_state_is_value(self):
+        assert str(TaxiState.PAYMENT) == "PAYMENT"

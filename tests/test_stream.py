@@ -1,0 +1,249 @@
+"""Tests for the streaming engine (incremental PEA + live monitor)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import AmplificationPolicy
+from repro.core.pea import extract_pickup_events
+from repro.core.qcd import label_slot
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import QueueSpot, QueueType, TimeSlotGrid
+from repro.geo.point import LocalProjection
+from repro.states.states import TaxiState
+from repro.stream import StreamingPea, StreamingQueueMonitor
+from repro.trace.record import MdtRecord
+from repro.trace.trajectory import Trajectory
+
+S = TaxiState
+LON, LAT = 103.8, 1.33
+PROJ = LocalProjection(LON, LAT)
+
+
+def recs(*pairs, taxi="A", step=30.0):
+    return [
+        MdtRecord(step * i, taxi, LON, LAT, speed, state)
+        for i, (speed, state) in enumerate(pairs)
+    ]
+
+
+class TestStreamingPea:
+    def test_simple_pickup(self):
+        pea = StreamingPea()
+        events = []
+        for r in recs((40, S.FREE), (5, S.FREE), (5, S.POB), (40, S.POB)):
+            event = pea.feed(r)
+            if event:
+                events.append(event)
+        assert len(events) == 1
+        assert events[0].taxi_id == "A"
+        assert len(events[0]) == 2
+
+    def test_flush_emits_open_candidate(self):
+        pea = StreamingPea()
+        for r in recs((40, S.FREE), (5, S.FREE), (5, S.POB)):
+            assert pea.feed(r) is None
+        flushed = pea.flush()
+        assert len(flushed) == 1
+
+    def test_flush_is_idempotent(self):
+        pea = StreamingPea()
+        for r in recs((40, S.FREE), (5, S.FREE), (5, S.POB)):
+            pea.feed(r)
+        assert len(pea.flush()) == 1
+        assert pea.flush() == []
+
+    def test_interleaved_taxis(self):
+        pea = StreamingPea()
+        a = recs((40, S.FREE), (5, S.FREE), (5, S.POB), (40, S.POB), taxi="A")
+        b = recs((40, S.FREE), (5, S.FREE), (5, S.POB), (40, S.POB), taxi="B")
+        events = []
+        for ra, rb in zip(a, b):
+            for r in (ra, rb):
+                event = pea.feed(r)
+                if event:
+                    events.append(event)
+        assert {e.taxi_id for e in events} == {"A", "B"}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            StreamingPea(speed_threshold_kmh=0)
+
+    speeds = st.floats(min_value=0.0, max_value=80.0)
+    states = st.sampled_from(list(TaxiState))
+
+    @given(st.lists(st.tuples(speeds, states), min_size=0, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_batch_pea(self, pairs):
+        records = recs(*pairs) if pairs else []
+        batch = extract_pickup_events(Trajectory("A", records))
+        pea = StreamingPea()
+        streamed = [e for e in (pea.feed(r) for r in records) if e]
+        streamed.extend(pea.flush())
+        assert len(streamed) == len(batch)
+        for b, s in zip(batch, streamed):
+            assert list(b) == list(s.records)
+
+    def test_pickup_event_duck_type(self):
+        pea = StreamingPea()
+        event = None
+        for r in recs((40, S.FREE), (5, S.FREE), (5, S.POB), (40, S.POB)):
+            event = pea.feed(r) or event
+        lon, lat = event.centroid()
+        assert lon == pytest.approx(LON)
+        assert event.first.state is S.FREE
+        assert event.last.state is S.POB
+        assert event.states() == [S.FREE, S.POB]
+
+
+def _thresholds():
+    return QcdThresholds(
+        eta_wait=120.0, eta_dep=90.0, tau_arr=15.0, tau_dep=20.0,
+        eta_dur=1620.0, tau_ratio=0.84,
+    )
+
+
+def _spot():
+    return QueueSpot("QS001", LON, LAT, "Central", 100, 5.0)
+
+
+def _monitor(grid, grace_s=900.0):
+    return StreamingQueueMonitor(
+        spots=[_spot()],
+        thresholds={"QS001": _thresholds()},
+        grid=grid,
+        projection=PROJ,
+        amplification=AmplificationPolicy(),
+        grace_s=grace_s,
+    )
+
+
+def pickup_stream(start_ts, n, spacing=60.0, wait=60.0, taxi_prefix="T"):
+    """n quick pickups at the spot, spaced ``spacing`` apart."""
+    records = []
+    for k in range(n):
+        t0 = start_ts + k * spacing
+        taxi = f"{taxi_prefix}{k:03d}"
+        records.extend(
+            [
+                MdtRecord(t0, taxi, LON, LAT, 40.0, S.FREE),
+                MdtRecord(t0 + 1, taxi, LON, LAT, 5.0, S.FREE),
+                MdtRecord(t0 + 1 + wait, taxi, LON, LAT, 5.0, S.POB),
+                MdtRecord(t0 + 2 + wait, taxi, LON, LAT, 40.0, S.POB),
+            ]
+        )
+    records.sort(key=lambda r: r.ts)
+    return records
+
+
+class TestStreamingQueueMonitor:
+    def test_slot_finalized_after_grace(self):
+        grid = TimeSlotGrid(0.0, 7200.0, 1800.0)
+        monitor = _monitor(grid)
+        results = []
+        for r in pickup_stream(100.0, 20, spacing=60.0):
+            results.extend(monitor.feed(r))
+        # Stream ends around t=1400; slot 0 not yet finalized.
+        assert results == []
+        # A late heartbeat record pushes the clock past slot 0 + grace.
+        results.extend(
+            monitor.feed(MdtRecord(2800.0, "Z", LON + 0.1, LAT, 40.0, S.FREE))
+        )
+        slot0 = [r for r in results if r.slot == 0]
+        assert len(slot0) == 1
+        assert slot0[0].spot_id == "QS001"
+        assert slot0[0].features.n_arrivals == 20
+
+    def test_labels_match_batch_qcd(self):
+        grid = TimeSlotGrid(0.0, 3600.0, 1800.0)
+        monitor = _monitor(grid)
+        for r in pickup_stream(10.0, 25, spacing=60.0, wait=40.0):
+            monitor.feed(r)
+        results = monitor.finish()
+        slot0 = next(r for r in results if r.slot == 0)
+        assert slot0.label.label is label_slot(
+            slot0.features, _thresholds()
+        ).label
+        # 25 arrivals with 40 s waits: the C2 pattern.
+        assert slot0.label.label is QueueType.C2
+
+    def test_finish_covers_all_slots(self):
+        grid = TimeSlotGrid(0.0, 7200.0, 1800.0)
+        monitor = _monitor(grid)
+        results = monitor.finish()
+        assert len(results) == grid.n_slots  # one spot, all slots
+        assert all(r.label.label is QueueType.UNIDENTIFIED for r in results)
+
+    def test_events_far_from_spot_ignored(self):
+        grid = TimeSlotGrid(0.0, 1800.0, 1800.0)
+        monitor = _monitor(grid)
+        far = [
+            MdtRecord(10.0, "X", LON + 0.1, LAT, 40.0, S.FREE),
+            MdtRecord(11.0, "X", LON + 0.1, LAT, 5.0, S.FREE),
+            MdtRecord(40.0, "X", LON + 0.1, LAT, 5.0, S.POB),
+            MdtRecord(41.0, "X", LON + 0.1, LAT, 40.0, S.POB),
+        ]
+        for r in far:
+            monitor.feed(r)
+        results = monitor.finish()
+        assert results[0].features.n_arrivals == 0
+
+    def test_missing_thresholds_give_unidentified(self):
+        grid = TimeSlotGrid(0.0, 1800.0, 1800.0)
+        monitor = StreamingQueueMonitor(
+            spots=[_spot()],
+            thresholds={},
+            grid=grid,
+            projection=PROJ,
+        )
+        for r in pickup_stream(10.0, 5):
+            monitor.feed(r)
+        results = monitor.finish()
+        assert results[0].label.label is QueueType.UNIDENTIFIED
+
+    def test_amplification_applied(self):
+        grid = TimeSlotGrid(0.0, 1800.0, 1800.0)
+        monitor = StreamingQueueMonitor(
+            spots=[_spot()],
+            thresholds={"QS001": _thresholds()},
+            grid=grid,
+            projection=PROJ,
+            amplification=AmplificationPolicy.for_coverage(0.5),
+        )
+        for r in pickup_stream(10.0, 10):
+            monitor.feed(r)
+        results = monitor.finish()
+        assert results[0].features.n_arrivals == 20  # 10 observed x 2
+
+
+class TestStreamAgainstBatchOnSimData:
+    def test_stream_reproduces_batch_wait_counts(self, small_day, small_engine, small_detection):
+        """Feeding the whole day through the monitor matches the batch
+        engine's per-spot wait-event totals."""
+        cleaned = small_engine.preprocess(small_day.store)
+        grid = small_day.ground_truth.grid
+        monitor = StreamingQueueMonitor(
+            spots=small_detection.spots,
+            thresholds={},
+            grid=grid,
+            projection=small_day.city.projection,
+            assign_radius_m=30.0,
+        )
+        all_records = sorted(cleaned.iter_records(), key=lambda r: r.ts)
+        results = []
+        for r in all_records:
+            results.extend(monitor.feed(r))
+        results.extend(monitor.finish())
+
+        stream_total = sum(
+            r.features.n_arrivals + 0 for r in results
+        )
+        batch = small_engine.disambiguate(cleaned, small_detection, grid)
+        batch_total = sum(
+            f.n_arrivals / small_engine.amplification.factor
+            for a in batch.values()
+            for f in a.features
+        )
+        assert stream_total == pytest.approx(batch_total, rel=0.05)

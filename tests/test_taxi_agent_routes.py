@@ -1,0 +1,75 @@
+"""Unit tests for polyline-following record emission."""
+
+import random
+
+import pytest
+
+from repro.geo.point import equirectangular_m
+from repro.sim.config import SimulationConfig
+from repro.sim.taxi import TaxiAgent
+from repro.states.states import TaxiState
+
+
+def agent():
+    return TaxiAgent("SH0001A", 103.80, 1.33, SimulationConfig(), random.Random(1))
+
+
+class TestEmitDriveRoute:
+    WAYPOINTS = [(103.80, 1.33), (103.81, 1.33), (103.81, 1.34), (103.82, 1.34)]
+
+    def test_records_follow_polyline(self):
+        taxi = agent()
+        taxi.emit_drive_route(0.0, 600.0, self.WAYPOINTS, TaxiState.POB)
+        assert taxi.records
+        # Every record lies within a few metres of some segment's span.
+        for record in taxi.records:
+            nearest = min(
+                equirectangular_m(record.lon, record.lat, wlon, wlat)
+                for wlon, wlat in self.WAYPOINTS
+            )
+            assert nearest < 1500.0  # within one segment length
+
+    def test_position_ends_at_destination(self):
+        taxi = agent()
+        taxi.emit_drive_route(0.0, 600.0, self.WAYPOINTS, TaxiState.POB)
+        assert (taxi.lon, taxi.lat) == self.WAYPOINTS[-1]
+
+    def test_timestamps_within_leg(self):
+        taxi = agent()
+        taxi.emit_drive_route(100.0, 700.0, self.WAYPOINTS, TaxiState.ONCALL)
+        for record in taxi.records:
+            assert 100.0 < record.ts < 700.0
+            assert record.state is TaxiState.ONCALL
+            assert record.speed >= 12.0
+
+    def test_progress_monotone_along_route(self):
+        taxi = agent()
+        taxi.emit_drive_route(0.0, 900.0, self.WAYPOINTS, TaxiState.POB)
+        start = self.WAYPOINTS[0]
+        along = [
+            equirectangular_m(start[0], start[1], r.lon, r.lat)
+            for r in taxi.records
+        ]
+        # Straight-line distance from the origin grows with L-shaped
+        # progress here because the polyline never doubles back.
+        assert along == sorted(along)
+
+    def test_degenerate_leg_moves_position_only(self):
+        taxi = agent()
+        taxi.emit_drive_route(10.0, 5.0, self.WAYPOINTS, TaxiState.POB)
+        assert taxi.records == []
+        assert (taxi.lon, taxi.lat) == self.WAYPOINTS[-1]
+
+    def test_single_point_polyline(self):
+        taxi = agent()
+        taxi.emit_drive_route(0.0, 100.0, [(103.9, 1.4)], TaxiState.POB)
+        assert taxi.records == []
+        assert (taxi.lon, taxi.lat) == (103.9, 1.4)
+
+    def test_day_end_truncation_applies(self):
+        taxi = agent()
+        day_end = SimulationConfig().day_end_ts
+        taxi.emit_drive_route(
+            day_end - 100.0, day_end + 500.0, self.WAYPOINTS, TaxiState.POB
+        )
+        assert all(r.ts < day_end for r in taxi.records)

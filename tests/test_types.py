@@ -1,0 +1,60 @@
+"""Tests for shared value types, mainly the time-slot grid."""
+
+import pytest
+
+from repro.core.types import QueueSpot, TimeSlotGrid
+
+
+class TestTimeSlotGrid:
+    def test_paper_daily_grid(self):
+        grid = TimeSlotGrid.for_day(0.0)
+        assert grid.n_slots == 48
+        assert grid.slot_seconds == 1800.0
+
+    def test_slot_of(self):
+        grid = TimeSlotGrid.for_day(86400.0)
+        assert grid.slot_of(86400.0) == 0
+        assert grid.slot_of(86400.0 + 1799.0) == 0
+        assert grid.slot_of(86400.0 + 1800.0) == 1
+        assert grid.slot_of(86400.0 + 86399.0) == 47
+
+    def test_outside_domain_is_none(self):
+        grid = TimeSlotGrid.for_day(0.0)
+        assert grid.slot_of(-1.0) is None
+        assert grid.slot_of(86400.0) is None
+
+    def test_bounds(self):
+        grid = TimeSlotGrid.for_day(0.0)
+        assert grid.bounds(0) == (0.0, 1800.0)
+        assert grid.bounds(47) == (84600.0, 86400.0)
+        with pytest.raises(IndexError):
+            grid.bounds(48)
+        with pytest.raises(IndexError):
+            grid.bounds(-1)
+
+    def test_partial_last_slot(self):
+        grid = TimeSlotGrid(0.0, 2500.0, 1800.0)
+        assert grid.n_slots == 2
+        assert grid.bounds(1) == (1800.0, 2500.0)
+
+    def test_label_of(self):
+        grid = TimeSlotGrid.for_day(0.0)
+        assert grid.label_of(0) == "00:00-00:30"
+        assert grid.label_of(37) == "18:30-19:00"
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            TimeSlotGrid(10.0, 5.0)
+        with pytest.raises(ValueError):
+            TimeSlotGrid(0.0, 10.0, slot_seconds=0.0)
+
+    def test_all_slots(self):
+        grid = TimeSlotGrid(0.0, 3600.0, 1800.0)
+        assert grid.all_slots() == [0, 1]
+
+
+class TestQueueSpot:
+    def test_frozen(self):
+        spot = QueueSpot("QS001", 103.8, 1.33, "Central", 120, 8.5)
+        with pytest.raises(AttributeError):
+            spot.lon = 0.0
