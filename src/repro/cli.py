@@ -6,6 +6,8 @@ Subcommands mirror the deployed system's workflow (paper section 7.1):
 * ``detect``  — tier 1: queue spot detection from a log CSV;
 * ``analyze`` — tiers 1+2: detection plus queue context labels;
 * ``export``  — tiers 1+2 plus frontend artefacts (GeoJSON, CSV, HTML);
+* ``serve``   — replay a day through the streaming monitor and serve
+  live queue state over HTTP (see ``docs/service.md``);
 * ``demo``    — a quick end-to-end run on a small simulated day.
 """
 
@@ -14,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -31,6 +34,37 @@ from repro.sim.city import DEFAULT_CITY_BBOX, City
 from repro.sim.config import SimulationConfig
 from repro.sim.fleet import simulate_day
 from repro.trace.log_store import MdtLogStore
+
+
+def _version() -> str:
+    """The installed distribution version, falling back to the package's
+    own ``__version__`` when running from a source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+def _load_store(path_str: str) -> Optional[MdtLogStore]:
+    """Load a log CSV, or print a clear error and return None.
+
+    Subcommands taking an input CSV share this so a missing path yields
+    a one-line message and a non-zero exit instead of a traceback.
+    """
+    path = Path(path_str)
+    if not path.is_file():
+        print(
+            f"error: input CSV not found: {path}\n"
+            "hint: generate one with 'taxiqueue simulate --output "
+            f"{path}'",
+            file=sys.stderr,
+        )
+        return None
+    return MdtLogStore.from_csv(path)
 
 
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -102,7 +136,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    store = MdtLogStore.from_csv(args.input)
+    store = _load_store(args.input)
+    if store is None:
+        return 2
     bbox = _bbox_from_args(args, store)
     engine = _engine_for_bbox(bbox, args.coverage)
     detection = engine.detect_spots(store)
@@ -117,7 +153,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    store = MdtLogStore.from_csv(args.input)
+    store = _load_store(args.input)
+    if store is None:
+        return 2
     bbox = _bbox_from_args(args, store)
     engine = _engine_for_bbox(bbox, args.coverage)
     detection = engine.detect_spots(store)
@@ -144,7 +182,9 @@ def cmd_export(args: argparse.Namespace) -> int:
     from repro.export.geojson import dump_geojson, labels_to_geojson, spots_to_geojson
     from repro.export.html_report import write_html_report
 
-    store = MdtLogStore.from_csv(args.input)
+    store = _load_store(args.input)
+    if store is None:
+        return 2
     bbox = _bbox_from_args(args, store)
     engine = _engine_for_bbox(bbox, args.coverage)
     detection = engine.detect_spots(store)
@@ -203,6 +243,70 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueueService, ServiceConfig
+
+    if args.input is not None:
+        store = _load_store(args.input)
+        if store is None:
+            return 2
+        bbox = _bbox_from_args(args, store)
+        engine = _engine_for_bbox(bbox, args.coverage)
+        grid = None
+        source = args.input
+    else:
+        config = _build_config(args)
+        print("no input CSV given; simulating a day ...")
+        output = simulate_day(config)
+        store = output.store
+        city = output.city
+        engine = QueueAnalyticEngine(
+            zones=city.zones,
+            projection=city.projection,
+            config=EngineConfig(observed_fraction=config.observed_fraction),
+            city_bbox=city.bbox,
+            inaccessible=city.water,
+        )
+        grid = output.ground_truth.grid
+        source = f"simulated day (seed {config.seed})"
+
+    service_config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        speedup=None if args.speedup <= 0 else args.speedup,
+        cache_ttl_s=args.cache_ttl,
+        grace_s=args.grace,
+    )
+    print(f"bootstrapping spots and thresholds from {source} ...")
+    service = QueueService.from_day(store, engine, service_config, grid)
+    n_spots = len(service.store.spot_ids)
+    service.start()
+    print(f"serving {n_spots} spots at {service.server.url}")
+    print(f"  GET {service.server.url}/v1/spots")
+    print(f"  GET {service.server.url}/v1/citywide")
+    print(f"  GET {service.server.url}/v1/metrics")
+    speed = service_config.speedup
+    print(
+        f"replaying at {'maximum' if speed is None else f'{speed:g}x'} "
+        "speed; Ctrl-C to stop"
+    )
+    try:
+        if args.max_seconds is not None:
+            service.replayer.finished.wait(timeout=args.max_seconds)
+        else:
+            while not service.replayer.finished.wait(timeout=1.0):
+                pass
+            print("replay finished; still serving the final snapshot "
+                  "(Ctrl-C to stop)")
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
+    return 0
+
+
 def _bbox_from_args(args: argparse.Namespace, store: MdtLogStore) -> BBox:
     if args.bbox:
         west, south, east, north = (float(x) for x in args.bbox.split(","))
@@ -220,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="taxiqueue",
         description="Queue detection and analysis from taxi MDT logs "
         "(EDBT 2015 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -255,6 +362,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--outdir", default="queue_report",
                        help="output directory for the artefacts")
     p_exp.set_defaults(func=cmd_export)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="replay a day through the streaming monitor and serve live "
+        "queue state over HTTP",
+    )
+    p_srv.add_argument(
+        "input", nargs="?", default=None,
+        help="MDT log CSV (omit to simulate a day)",
+    )
+    _add_sim_args(p_srv)
+    p_srv.add_argument("--coverage", type=float, default=1.0)
+    p_srv.add_argument("--bbox", default=None,
+                       help="city bbox 'west,south,east,north'")
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free port)")
+    p_srv.add_argument(
+        "--speedup", type=float, default=600.0,
+        help="stream-seconds per wall-second (<=0 replays flat out; "
+        "default 600 serves a day in ~2.4 minutes)",
+    )
+    p_srv.add_argument("--cache-ttl", type=float, default=1.0,
+                       help="response cache TTL in seconds (0 disables)")
+    p_srv.add_argument("--grace", type=float, default=900.0,
+                       help="slot finalization grace period in seconds")
+    p_srv.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop after this many seconds (default: serve until Ctrl-C)",
+    )
+    p_srv.set_defaults(func=cmd_serve)
 
     p_demo = sub.add_parser("demo", help="small end-to-end demonstration")
     p_demo.add_argument("--seed", type=int, default=7)

@@ -23,25 +23,36 @@ TYPE_COLORS: Dict[QueueType, str] = {
 }
 
 
+def spot_feature(spot: QueueSpot, properties: Optional[dict] = None) -> dict:
+    """One queue spot as a GeoJSON point Feature.
+
+    The shared building block of every spot-shaped export (batch GeoJSON
+    files and the live serving layer): identity properties come from the
+    spot, ``properties`` adds or overrides view-specific ones.
+    """
+    props = {
+        "spot_id": spot.spot_id,
+        "zone": spot.zone,
+        "pickup_count": spot.pickup_count,
+    }
+    if properties:
+        props.update(properties)
+    return {
+        "type": "Feature",
+        "geometry": {
+            "type": "Point",
+            "coordinates": [spot.lon, spot.lat],
+        },
+        "properties": props,
+    }
+
+
 def spots_to_geojson(spots: Sequence[QueueSpot]) -> dict:
     """Detected queue spots as a GeoJSON FeatureCollection."""
-    features = []
-    for spot in spots:
-        features.append(
-            {
-                "type": "Feature",
-                "geometry": {
-                    "type": "Point",
-                    "coordinates": [spot.lon, spot.lat],
-                },
-                "properties": {
-                    "spot_id": spot.spot_id,
-                    "zone": spot.zone,
-                    "pickup_count": spot.pickup_count,
-                    "radius_m": round(spot.radius_m, 1),
-                },
-            }
-        )
+    features = [
+        spot_feature(spot, {"radius_m": round(spot.radius_m, 1)})
+        for spot in spots
+    ]
     return {"type": "FeatureCollection", "features": features}
 
 
@@ -63,37 +74,23 @@ def labels_to_geojson(
     """
     features = []
     for analysis in analyses:
-        spot = analysis.spot
-        props: dict = {
-            "spot_id": spot.spot_id,
-            "zone": spot.zone,
-            "pickup_count": spot.pickup_count,
-        }
+        props: dict
         if slot is not None:
             label = analysis.labels[slot].label
-            props.update(
-                {
-                    "slot": slot,
-                    "time": grid.label_of(slot),
-                    "queue_type": label.value,
-                    "color": TYPE_COLORS[label],
-                }
-            )
-        else:
-            props["labels"] = [
-                {"time": grid.label_of(l.slot), "queue_type": l.label.value}
-                for l in analysis.labels
-            ]
-        features.append(
-            {
-                "type": "Feature",
-                "geometry": {
-                    "type": "Point",
-                    "coordinates": [spot.lon, spot.lat],
-                },
-                "properties": props,
+            props = {
+                "slot": slot,
+                "time": grid.label_of(slot),
+                "queue_type": label.value,
+                "color": TYPE_COLORS[label],
             }
-        )
+        else:
+            props = {
+                "labels": [
+                    {"time": grid.label_of(l.slot), "queue_type": l.label.value}
+                    for l in analysis.labels
+                ]
+            }
+        features.append(spot_feature(analysis.spot, props))
     return {"type": "FeatureCollection", "features": features}
 
 

@@ -55,11 +55,19 @@ class GridIndex:
         """
         if radius <= 0:
             raise ValueError("radius must be positive")
-        reach = int(np.ceil(radius / self.cell_size))
-        cx, cy = self._cell_of(x, y)
+        # Candidate cells are every cell overlapping the query square,
+        # widened by a float-rounding slack: a point just outside the
+        # square can still satisfy the rounded `d2 <= radius**2` test
+        # below, and cell membership must not prune what the distance
+        # test would accept (the DBSCAN backends must agree exactly).
+        slack = 1e-9 * (abs(x) + abs(y) + radius) + 1e-30
+        gx_lo = int(np.floor((x - radius - slack) / self.cell_size))
+        gx_hi = int(np.floor((x + radius + slack) / self.cell_size))
+        gy_lo = int(np.floor((y - radius - slack) / self.cell_size))
+        gy_hi = int(np.floor((y + radius + slack) / self.cell_size))
         candidates: List[int] = []
-        for gx in range(cx - reach, cx + reach + 1):
-            for gy in range(cy - reach, cy + reach + 1):
+        for gx in range(gx_lo, gx_hi + 1):
+            for gy in range(gy_lo, gy_hi + 1):
                 bucket = self._cells.get((gx, gy))
                 if bucket:
                     candidates.extend(bucket)

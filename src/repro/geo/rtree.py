@@ -133,11 +133,14 @@ class StrRTree:
         if self.root is None:
             return np.empty(0, dtype=np.int64)
         r2 = radius * radius
+        # Prune with a float-rounding slack so bbox rejection can never
+        # drop a point the exact `d2 <= r2` test below would accept.
+        prune2 = r2 * (1.0 + 1e-9) + 1e-30
         out: List[np.ndarray] = []
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if node.min_dist2(x, y) > r2:
+            if node.min_dist2(x, y) > prune2:
                 continue
             if node.is_leaf:
                 ids = node.point_ids

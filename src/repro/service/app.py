@@ -1,0 +1,148 @@
+"""Assembly of the live queue-state service.
+
+One call — :meth:`QueueService.from_day` — turns a day of MDT logs plus
+a configured batch engine into the full serving stack the deployed
+system runs (paper section 7.1):
+
+1. **batch bootstrap**: tier 1 detects the spot set, tier 2 derives the
+   per-spot QCD thresholds (the monitor needs both up front, exactly as
+   the production deployment bootstraps from historical days);
+2. **live path**: a :class:`StreamingQueueMonitor` re-labels the day
+   record by record, publishing finalized slots into a
+   :class:`SnapshotStore` through a subscription callback;
+3. **serving path**: a :class:`QueueStateServer` exposes the snapshot
+   over HTTP with ETag revalidation and TTL response caching, while a
+   :class:`StreamReplayer` paces ingestion at a configurable speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.engine import QueueAnalyticEngine
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import TimeSlotGrid
+from repro.service.http import QueueStateServer
+from repro.service.metrics import MetricsRegistry
+from repro.service.replay import StreamReplayer
+from repro.service.snapshot import SnapshotStore
+from repro.stream.monitor import StreamingQueueMonitor
+from repro.trace.log_store import MdtLogStore
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the serving stack (not of the analytics)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    speedup: Optional[float] = 600.0
+    cache_ttl_s: float = 1.0
+    grace_s: float = 900.0
+
+
+class QueueService:
+    """The assembled live service: snapshot store + replay + HTTP."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        monitor: StreamingQueueMonitor,
+        replayer: StreamReplayer,
+        server: QueueStateServer,
+        metrics: MetricsRegistry,
+    ):
+        self.store = store
+        self.monitor = monitor
+        self.replayer = replayer
+        self.server = server
+        self.metrics = metrics
+
+    @classmethod
+    def from_day(
+        cls,
+        store: MdtLogStore,
+        engine: QueueAnalyticEngine,
+        config: Optional[ServiceConfig] = None,
+        grid: Optional[TimeSlotGrid] = None,
+    ) -> "QueueService":
+        """Bootstrap the full stack from one day of logs.
+
+        Args:
+            store: the day's MDT logs (simulated or loaded from CSV).
+            engine: a configured batch engine; runs tiers 1 and 2 once
+                to obtain the spot set and per-spot thresholds.
+            config: serving knobs.
+            grid: slot grid; defaults to the engine's daily default.
+        """
+        config = config or ServiceConfig()
+        metrics = MetricsRegistry()
+
+        with metrics.time("bootstrap.seconds"):
+            cleaned = engine.preprocess(store)
+            detection = engine.detect_spots(cleaned)
+            analyses = engine.disambiguate(cleaned, detection, grid)
+            thresholds: Dict[str, QcdThresholds] = {
+                spot_id: analysis.thresholds
+                for spot_id, analysis in analyses.items()
+                if analysis.thresholds is not None
+            }
+            if grid is None:
+                lo, hi = cleaned.time_span
+                day_start = lo - (lo % 86400.0)
+                grid = TimeSlotGrid(
+                    day_start,
+                    max(hi, day_start + 86400.0),
+                    engine.config.slot_seconds,
+                )
+            records = sorted(cleaned.iter_records(), key=lambda r: r.ts)
+
+        metrics.gauge("bootstrap.spots").set(len(detection.spots))
+        metrics.gauge("bootstrap.records").set(len(records))
+
+        snapshot = SnapshotStore(detection.spots, grid, metrics=metrics)
+        monitor = StreamingQueueMonitor(
+            spots=detection.spots,
+            thresholds=thresholds,
+            grid=grid,
+            projection=engine.projection,
+            amplification=engine.amplification,
+            assign_radius_m=engine.config.assign_radius_m,
+            grace_s=config.grace_s,
+        )
+        monitor.subscribe(lambda results: snapshot.apply(results))
+        replayer = StreamReplayer(
+            monitor, records, speedup=config.speedup, metrics=metrics
+        )
+        server = QueueStateServer(
+            snapshot,
+            metrics=metrics,
+            host=config.host,
+            port=config.port,
+            cache_ttl_s=config.cache_ttl_s,
+        )
+        return cls(snapshot, monitor, replayer, server, metrics)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start serving and begin the paced replay in the background."""
+        self.server.start()
+        self.replayer.start()
+
+    def stop(self) -> None:
+        self.replayer.stop()
+        self.server.stop()
+
+    def warm(self) -> int:
+        """Replay the whole day synchronously (no pacing, no server).
+
+        Used by benchmarks and tests that need a converged snapshot;
+        returns the number of finalized spot-slots.
+        """
+        pacing, self.replayer.speedup = self.replayer.speedup, None
+        try:
+            return self.replayer.run()
+        finally:
+            self.replayer.speedup = pacing

@@ -1,0 +1,266 @@
+"""Threaded HTTP/JSON API over a :class:`SnapshotStore`.
+
+Stdlib only (``http.server.ThreadingHTTPServer``); the endpoint set
+mirrors what the paper's frontend queries (section 7.1):
+
+* ``GET /v1/spots`` — every spot with its current queue context;
+* ``GET /v1/spots/{id}/slots`` — one spot's finalized slot history;
+* ``GET /v1/citywide`` — live queue-type proportions (Table 7);
+* ``GET /v1/healthz`` — liveness plus snapshot version and uptime;
+* ``GET /v1/metrics`` — the metrics registry snapshot.
+
+Snapshot-derived endpoints carry a strong ``ETag`` equal to the snapshot
+version; a conditional ``If-None-Match`` request is answered ``304 Not
+Modified`` until new slot results advance the version.  Serialized bodies
+are cached per endpoint with a TTL, keyed on the version, so a hot
+endpoint serves bytes without re-serializing under load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.snapshot import SnapshotStore
+
+
+@dataclass
+class Response:
+    """One materialized HTTP response."""
+
+    status: int
+    body: bytes = b""
+    etag: Optional[str] = None
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def _json_body(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class ResponseCache:
+    """Per-path TTL cache of serialized response bodies.
+
+    An entry is served only while (a) the snapshot version it was built
+    from is still current and (b) its TTL has not expired; either
+    condition failing falls through to re-serialization.
+    """
+
+    def __init__(self, ttl_s: float):
+        if ttl_s < 0:
+            raise ValueError("ttl must be non-negative")
+        self.ttl_s = float(ttl_s)
+        self._entries: Dict[str, Tuple[int, float, bytes]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, path: str, version: int) -> Optional[bytes]:
+        if self.ttl_s == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                return None
+            cached_version, expires, body = entry
+            if cached_version != version or time.monotonic() >= expires:
+                del self._entries[path]
+                return None
+            return body
+
+    def put(self, path: str, version: int, body: bytes) -> None:
+        if self.ttl_s == 0:
+            return
+        with self._lock:
+            self._entries[path] = (
+                version,
+                time.monotonic() + self.ttl_s,
+                body,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin shim: delegates to :meth:`QueueStateServer.respond`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "taxiqueue"
+    # Headers and body go out as separate writes; without TCP_NODELAY the
+    # Nagle/delayed-ACK interaction stalls keep-alive throughput at
+    # ~25 req/s per connection.
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        app: "QueueStateServer" = self.server.app  # type: ignore[attr-defined]
+        response = app.respond(
+            self.path, if_none_match=self.headers.get("If-None-Match")
+        )
+        self.send_response(response.status)
+        if response.etag is not None:
+            self.send_header("ETag", response.etag)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if response.status == 304:
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging; metrics cover it."""
+
+
+class QueueStateServer:
+    """The serving front of the live queue-state subsystem.
+
+    Args:
+        store: the snapshot store to serve.
+        metrics: registry instrumented with request counts, cache
+            hits/misses and request latency; also exposed at
+            ``/v1/metrics``.
+        host, port: bind address (port 0 picks a free port).
+        cache_ttl_s: per-endpoint TTL of serialized bodies (0 disables).
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        metrics: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_ttl_s: float = 1.0,
+    ):
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = ResponseCache(cache_ttl_s)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve in a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="queue-state-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- routing -----------------------------------------------------------------
+
+    def respond(
+        self, path: str, if_none_match: Optional[str] = None
+    ) -> Response:
+        """Materialize the response for one GET (socket-free, testable)."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        with self.metrics.time("http.request_seconds"):
+            response = self._route(path, if_none_match)
+        route = self._route_name(path)
+        self.metrics.counter(f"http.requests.{route}").inc()
+        self.metrics.counter(f"http.responses.{response.status}").inc()
+        return response
+
+    def _route_name(self, path: str) -> str:
+        parts = path.strip("/").split("/")
+        if len(parts) == 4 and parts[:2] == ["v1", "spots"]:
+            return "spot_slots"
+        if len(parts) == 2 and parts[0] == "v1":
+            return parts[1]
+        return "unknown"
+
+    def _route(self, path: str, if_none_match: Optional[str]) -> Response:
+        if path == "/v1/healthz":
+            return Response(200, _json_body(self._health_payload()))
+        if path == "/v1/metrics":
+            return Response(200, _json_body(self.metrics.snapshot()))
+        if path == "/v1/spots":
+            return self._snapshot_response(
+                path, if_none_match, self.store.spots_payload
+            )
+        if path == "/v1/citywide":
+            return self._snapshot_response(
+                path, if_none_match, self.store.citywide_payload
+            )
+        parts = path.strip("/").split("/")
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "spots"]
+            and parts[3] == "slots"
+        ):
+            spot_id = parts[2]
+            return self._snapshot_response(
+                path,
+                if_none_match,
+                lambda: self.store.spot_slots_payload(spot_id),
+            )
+        return Response(
+            404, _json_body({"error": f"no such endpoint: {path}"})
+        )
+
+    def _snapshot_response(
+        self, path: str, if_none_match: Optional[str], payload_fn
+    ) -> Response:
+        """ETag + TTL-cache wrapper shared by snapshot-derived routes."""
+        version = self.store.version
+        etag = f'"{version}"'
+        if if_none_match is not None and etag in (
+            tag.strip() for tag in if_none_match.split(",")
+        ):
+            self.metrics.counter("http.not_modified").inc()
+            return Response(304, etag=etag)
+        body = self.cache.get(path, version)
+        if body is not None:
+            self.metrics.counter("http.cache_hits").inc()
+            return Response(200, body, etag=etag)
+        self.metrics.counter("http.cache_misses").inc()
+        payload = payload_fn()
+        if payload is None:
+            return Response(404, _json_body({"error": "unknown spot id"}))
+        body = _json_body(payload)
+        self.cache.put(path, version, body)
+        return Response(200, body, etag=etag)
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "snapshot": self.store.version,
+            "spots": len(self.store.spot_ids),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }

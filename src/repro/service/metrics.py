@@ -1,0 +1,225 @@
+"""A lightweight in-process metrics registry for the serving layer.
+
+The deployed system (paper section 7.1) runs as a live backend; operating
+such a service needs visibility into request rates, snapshot churn and
+tail latency.  This module provides the three classic instrument kinds —
+:class:`Counter`, :class:`Gauge` and :class:`Histogram` — behind a
+:class:`MetricsRegistry` that hands out get-or-create instruments by
+name and renders one JSON-able snapshot of everything.
+
+Design constraints:
+
+* stdlib only (the HTTP layer exposes the snapshot at ``/v1/metrics``);
+* thread-safe: the HTTP server is threaded and the replay path runs in
+  its own thread, so every instrument guards its state with a lock;
+* bounded memory: histograms keep a fixed-size window of recent
+  observations for quantiles plus exact lifetime count/sum.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter.
+
+        Raises:
+            ValueError: for a negative amount.
+        """
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. the snapshot version)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Observation distribution with windowed quantiles.
+
+    Keeps the exact lifetime ``count`` and ``sum`` plus a ring buffer of
+    the most recent ``window`` observations; quantiles are computed over
+    the window (recent behaviour is what an operator watches).
+    """
+
+    def __init__(self, name: str, window: int = 4096):
+        if window < 1:
+            raise ValueError("window must hold at least one observation")
+        self.name = name
+        self.window = window
+        self._ring: List[float] = []
+        self._next = 0
+        self._count = 0
+        self._sum = 0.0
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+            if len(self._ring) < self.window:
+                self._ring.append(value)
+            else:
+                self._ring[self._next] = value
+            self._next = (self._next + 1) % self.window
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0..1) over the recent window, or None when
+        nothing was observed.
+
+        Raises:
+            ValueError: for a quantile outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._ring:
+                return None
+            ordered = sorted(self._ring)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """Count, sum, mean, max and the p50/p90/p99 quantiles."""
+        with self._lock:
+            if not self._ring:
+                return {"count": self._count, "sum": self._sum}
+            count, total, peak = self._count, self._sum, self._max
+            ordered = sorted(self._ring)
+
+        def pick(q: float) -> float:
+            rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+            return ordered[rank]
+
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "max": peak,
+            "p50": pick(0.50),
+            "p90": pick(0.90),
+            "p99": pick(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Instrument names are dotted paths (``http.requests.spots``); a name
+    is bound to one kind for the registry's lifetime.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _get(self, table: dict, other_tables: tuple, name: str, factory):
+        with self._lock:
+            instrument = table.get(name)
+            if instrument is None:
+                for other in other_tables:
+                    if name in other:
+                        raise ValueError(
+                            f"metric {name!r} already registered with a "
+                            "different kind"
+                        )
+                instrument = table[name] = factory(name)
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(
+            self._counters, (self._gauges, self._histograms), name, Counter
+        )
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(
+            self._gauges, (self._counters, self._histograms), name, Gauge
+        )
+
+    def histogram(self, name: str, window: int = 4096) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(
+            self._histograms,
+            (self._counters, self._gauges),
+            name,
+            lambda n: Histogram(n, window=window),
+        )
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager recording elapsed seconds into histogram
+        ``name``."""
+        histogram = self.histogram(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-able mapping."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(histograms.items())
+            },
+        }

@@ -1,0 +1,115 @@
+"""Accelerated replay of a day's records into the streaming monitor.
+
+The live system consumes an operator feed in real time; offline we have
+a recorded (or simulated) day.  :class:`StreamReplayer` bridges the two:
+it feeds time-ordered records into a
+:class:`~repro.stream.StreamingQueueMonitor`, pacing wall-clock sleeps
+so one stream-second takes ``1/speedup`` real seconds.  With
+``speedup=None`` the replay runs flat out (warm-up, benchmarks, tests).
+
+The monitor's subscribers (the snapshot store) receive finalized slots
+as a side effect of ``feed``; the replayer itself only paces, counts and
+exposes progress through the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Sequence
+
+from repro.service.metrics import MetricsRegistry
+from repro.stream.monitor import StreamingQueueMonitor
+from repro.trace.record import MdtRecord
+
+#: Never sleep longer than this per gap, whatever the speedup — a dead
+#: stretch in the feed should not freeze the serving layer's progress
+#: reporting for minutes.
+MAX_SLEEP_S = 5.0
+
+
+class StreamReplayer:
+    """Drive a monitor from recorded history at a configurable speedup.
+
+    Args:
+        monitor: the streaming monitor to feed (subscribers attached).
+        records: the day's records; sorted by timestamp internally.
+        speedup: stream-seconds per wall-second (e.g. 600 replays a day
+            in ~2.4 minutes); None disables pacing entirely.
+        metrics: optional registry; maintains ``replay.records`` /
+            ``replay.slots_finalized`` counters and the
+            ``replay.stream_clock`` gauge.
+    """
+
+    def __init__(
+        self,
+        monitor: StreamingQueueMonitor,
+        records: Sequence[MdtRecord],
+        speedup: Optional[float] = 600.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if speedup is not None and speedup <= 0:
+            raise ValueError("speedup must be positive (or None)")
+        self.monitor = monitor
+        self.records = sorted(records, key=lambda r: r.ts)
+        self.speedup = speedup
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.finished = threading.Event()
+        """Set once the full stream was replayed and finalized; stays
+        unset when the replay is stopped early."""
+
+    # -- synchronous core --------------------------------------------------------
+
+    def run(self) -> int:
+        """Replay every record (blocking); returns finalized-slot count.
+
+        The monitor's :meth:`finish` is called at end of stream, so the
+        tail slots (still inside the grace period) are flushed and the
+        snapshot converges to the batch result.
+        """
+        finalized = 0
+        records_counter = self.metrics.counter("replay.records")
+        slots_counter = self.metrics.counter("replay.slots_finalized")
+        clock_gauge = self.metrics.gauge("replay.stream_clock")
+        previous_ts: Optional[float] = None
+        for record in self.records:
+            if self._stop.is_set():
+                break
+            if self.speedup is not None and previous_ts is not None:
+                gap = (record.ts - previous_ts) / self.speedup
+                if gap > 1e-3:
+                    self._stop.wait(min(gap, MAX_SLEEP_S))
+            previous_ts = record.ts
+            closed = len(self.monitor.feed(record))
+            if closed:
+                slots_counter.inc(closed)
+            finalized += closed
+            records_counter.inc()
+            clock_gauge.set(record.ts)
+        if not self._stop.is_set():
+            closed = len(self.monitor.finish())
+            if closed:
+                slots_counter.inc(closed)
+            finalized += closed
+            self.finished.set()
+        return finalized
+
+    # -- background operation ----------------------------------------------------
+
+    def start(self) -> threading.Thread:
+        """Run the replay in a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.run, name="queue-state-replay", daemon=True
+            )
+            self._thread.start()
+        return self._thread
+
+    def stop(self) -> None:
+        """Ask a background replay to stop and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

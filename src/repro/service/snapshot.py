@@ -1,0 +1,201 @@
+"""Versioned live queue-state snapshots.
+
+:class:`SnapshotStore` is the bridge between the streaming ingest path
+and the HTTP serving path: a :class:`~repro.stream.StreamingQueueMonitor`
+publishes finalized :class:`~repro.stream.SlotResult` batches into the
+store (via :meth:`SnapshotStore.apply`, typically wired through
+``monitor.subscribe``), and HTTP handlers read consistent JSON payloads
+out of it.
+
+Every applied batch advances a monotonically increasing **snapshot id**;
+the id doubles as the HTTP ETag, so clients (and the server's own
+response cache) can tell "nothing changed" apart from "new labels
+landed" without comparing payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.qcd import label_proportions
+from repro.core.types import QueueSpot, TimeSlotGrid
+from repro.export.geojson import TYPE_COLORS, spot_feature
+from repro.service.metrics import MetricsRegistry
+from repro.stream.monitor import SlotResult
+
+
+def _label_props(result: SlotResult, grid: TimeSlotGrid) -> dict:
+    """The view-facing properties of one finalized spot-slot."""
+    features = result.features
+    return {
+        "slot": result.slot,
+        "time": grid.label_of(result.slot),
+        "queue_type": result.label.label.value,
+        "color": TYPE_COLORS[result.label.label],
+        "routine": result.label.routine,
+        "mean_wait_s": features.mean_wait_s,
+        "n_arrivals": features.n_arrivals,
+        "queue_length": features.queue_length,
+        "mean_departure_interval_s": features.mean_departure_interval_s,
+        "n_departures": features.n_departures,
+    }
+
+
+class SnapshotStore:
+    """Current queue state for a fixed spot set, under one lock.
+
+    Args:
+        spots: the served spot set (batch tier-1 output).
+        grid: the slot grid labels refer to.
+        metrics: optional registry; the store maintains the
+            ``snapshot.version`` / ``snapshot.slots_held`` gauges and the
+            ``snapshot.updates`` / ``snapshot.slot_results`` counters.
+    """
+
+    def __init__(
+        self,
+        spots: Sequence[QueueSpot],
+        grid: TimeSlotGrid,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self._spots: Dict[str, QueueSpot] = {s.spot_id: s for s in spots}
+        self._grid = grid
+        self._results: Dict[str, Dict[int, SlotResult]] = {
+            spot_id: {} for spot_id in self._spots
+        }
+        self._version = 0
+        self._lock = threading.RLock()
+        self._metrics = metrics
+        if metrics is not None:
+            metrics.gauge("snapshot.version").set(0)
+            metrics.gauge("snapshot.slots_held").set(0)
+
+    # -- writes ------------------------------------------------------------------
+
+    def apply(self, results: Sequence[SlotResult]) -> int:
+        """Absorb one batch of finalized slot results.
+
+        Results for unknown spot ids are ignored (the monitor and the
+        store are built from the same spot set, but a stale publisher
+        must not corrupt the snapshot).  A non-empty absorbed batch
+        advances the snapshot version by one.
+
+        Returns:
+            The snapshot version after the batch.
+        """
+        with self._lock:
+            absorbed = 0
+            for result in results:
+                bucket = self._results.get(result.spot_id)
+                if bucket is None:
+                    continue
+                bucket[result.slot] = result
+                absorbed += 1
+            if absorbed:
+                self._version += 1
+            version = self._version
+            if self._metrics is not None and absorbed:
+                self._metrics.gauge("snapshot.version").set(version)
+                self._metrics.counter("snapshot.updates").inc()
+                self._metrics.counter("snapshot.slot_results").inc(absorbed)
+                self._metrics.gauge("snapshot.slots_held").set(
+                    sum(len(b) for b in self._results.values())
+                )
+            return version
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The monotonically increasing snapshot id (0 = empty)."""
+        with self._lock:
+            return self._version
+
+    @property
+    def etag(self) -> str:
+        """The version as a strong HTTP entity tag."""
+        return f'"{self.version}"'
+
+    @property
+    def grid(self) -> TimeSlotGrid:
+        return self._grid
+
+    @property
+    def spot_ids(self) -> List[str]:
+        return list(self._spots)
+
+    # -- reads -------------------------------------------------------------------
+
+    def latest(self, spot_id: str) -> Optional[SlotResult]:
+        """The most recent finalized slot result of one spot."""
+        with self._lock:
+            bucket = self._results.get(spot_id)
+            if not bucket:
+                return None
+            return bucket[max(bucket)]
+
+    def spots_payload(self) -> dict:
+        """``/v1/spots``: every spot with its current (latest) label,
+        as a GeoJSON FeatureCollection plus snapshot metadata."""
+        with self._lock:
+            version = self._version
+            features = []
+            for spot_id, spot in self._spots.items():
+                bucket = self._results[spot_id]
+                current = (
+                    _label_props(bucket[max(bucket)], self._grid)
+                    if bucket
+                    else None
+                )
+                features.append(spot_feature(spot, {"current": current}))
+        return {
+            "snapshot": version,
+            "count": len(features),
+            "collection": {
+                "type": "FeatureCollection",
+                "features": features,
+            },
+        }
+
+    def spot_slots_payload(self, spot_id: str) -> Optional[dict]:
+        """``/v1/spots/{id}/slots``: one spot's finalized slot history,
+        or None for an unknown spot id."""
+        with self._lock:
+            spot = self._spots.get(spot_id)
+            if spot is None:
+                return None
+            bucket = self._results[spot_id]
+            slots = [
+                _label_props(bucket[slot], self._grid)
+                for slot in sorted(bucket)
+            ]
+            version = self._version
+        return {
+            "snapshot": version,
+            "spot_id": spot_id,
+            "zone": spot.zone,
+            "lon": spot.lon,
+            "lat": spot.lat,
+            "slots": slots,
+        }
+
+    def citywide_payload(self) -> dict:
+        """``/v1/citywide``: queue-type proportions over every finalized
+        spot-slot (the live Table 7)."""
+        with self._lock:
+            labels = [
+                result.label
+                for bucket in self._results.values()
+                for result in bucket.values()
+            ]
+            version = self._version
+        proportions = label_proportions(labels)
+        return {
+            "snapshot": version,
+            "finalized_slot_results": len(labels),
+            "proportions": {
+                qt.value: round(share, 6)
+                for qt, share in proportions.items()
+            },
+        }

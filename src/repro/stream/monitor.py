@@ -14,7 +14,7 @@ labelled once the stream clock passes ``slot_end + grace``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -73,6 +73,7 @@ class StreamingQueueMonitor:
             spot.spot_id: {} for spot in self.spots
         }
         self._finalized_through = -1
+        self._subscribers: List[Callable[[List[SlotResult]], None]] = []
         if self.spots:
             self._spot_xy = projection.to_xy_array(
                 np.asarray([s.lon for s in self.spots]),
@@ -81,6 +82,26 @@ class StreamingQueueMonitor:
         else:
             self._spot_xy = np.empty((0, 2))
 
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[List[SlotResult]], None]
+    ) -> None:
+        """Register a callback fired whenever slots are finalized.
+
+        Callbacks receive the same non-empty result batches that
+        :meth:`feed` and :meth:`finish` return, in stream order, from the
+        thread driving the monitor.  A live consumer (e.g. the serving
+        layer's snapshot store) subscribes instead of polling return
+        values.
+        """
+        self._subscribers.append(callback)
+
+    def _publish(self, results: List[SlotResult]) -> None:
+        if results:
+            for callback in self._subscribers:
+                callback(results)
+
     # -- ingestion ---------------------------------------------------------------
 
     def feed(self, record: MdtRecord) -> List[SlotResult]:
@@ -88,7 +109,9 @@ class StreamingQueueMonitor:
         pickup = self._pea.feed(record)
         if pickup is not None:
             self._absorb(pickup)
-        return self._advance_clock(record.ts)
+        results = self._advance_clock(record.ts)
+        self._publish(results)
+        return results
 
     def finish(self) -> List[SlotResult]:
         """End of stream: flush open pickups and finalize every slot."""
@@ -98,6 +121,7 @@ class StreamingQueueMonitor:
         for slot in range(self._finalized_through + 1, self.grid.n_slots):
             results.extend(self._finalize_slot(slot))
         self._finalized_through = self.grid.n_slots - 1
+        self._publish(results)
         return results
 
     # -- internals ----------------------------------------------------------------

@@ -24,6 +24,49 @@ class TestParser:
         assert args.input == "logs.csv"
         assert args.coverage == 0.6
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.input is None
+        assert args.speedup == 600.0
+        assert args.port == 8080
+        assert args.cache_ttl == 1.0
+
+    def test_serve_with_input(self):
+        args = build_parser().parse_args(
+            ["serve", "logs.csv", "--speedup", "0", "--port", "0"]
+        )
+        assert args.input == "logs.csv"
+        assert args.speedup == 0.0
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "taxiqueue" in out
+        assert repro.__version__ in out
+
+
+class TestMissingInput:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["detect", "does_not_exist.csv"],
+            ["analyze", "does_not_exist.csv"],
+            ["export", "does_not_exist.csv"],
+            ["serve", "does_not_exist.csv"],
+        ],
+    )
+    def test_missing_csv_is_a_clean_error(self, argv, capsys):
+        code = main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "input CSV not found" in err
+        assert "does_not_exist.csv" in err
+        assert "Traceback" not in err
+
 
 class TestEndToEnd:
     @pytest.fixture(scope="class")

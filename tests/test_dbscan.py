@@ -8,7 +8,7 @@ neighbour backend.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.dbscan import DbscanResult, cluster_sizes, dbscan
@@ -156,6 +156,14 @@ class TestAgainstReference:
         ),
         st.floats(min_value=0.5, max_value=20.0),
         st.integers(min_value=1, max_value=8),
+    )
+    # Regression: a point exactly `eps` away whose coordinate sits one
+    # ulp below a grid-cell boundary — the rounded distance test accepts
+    # it, so cell pruning must not drop it.
+    @example(
+        coords=[(1.0, 0.0), (-3.4327220035756265e-135, 0.0)],
+        eps=1.0,
+        min_pts=1,
     )
     @settings(max_examples=40, deadline=None)
     def test_partition_matches_reference(self, coords, eps, min_pts):

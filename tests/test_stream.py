@@ -203,6 +203,52 @@ class TestStreamingQueueMonitor:
         results = monitor.finish()
         assert results[0].label.label is QueueType.UNIDENTIFIED
 
+    def test_wait_spanning_slot_boundary_counted_in_start_slot(self):
+        """A pickup whose wait starts in slot j but completes (POB) in
+        slot j+1 belongs to slot j, and slot j is only finalized once the
+        stream clock passes ``slot_end + grace``."""
+        grid = TimeSlotGrid(0.0, 3600.0, 1800.0)
+        monitor = _monitor(grid, grace_s=900.0)
+        # Wait starts at t=1750 (slot 0), POB at t=1850 (slot 1).
+        spanning = [
+            MdtRecord(1740.0, "A", LON, LAT, 40.0, S.FREE),
+            MdtRecord(1750.0, "A", LON, LAT, 5.0, S.FREE),
+            MdtRecord(1850.0, "A", LON, LAT, 5.0, S.POB),
+            MdtRecord(1860.0, "A", LON, LAT, 40.0, S.POB),
+        ]
+        results = []
+        for r in spanning:
+            results.extend(monitor.feed(r))
+        assert results == []
+        # Just before slot_end + grace = 2700: still pending.
+        results.extend(
+            monitor.feed(MdtRecord(2699.0, "Z", LON + 0.1, LAT, 40.0, S.FREE))
+        )
+        assert results == []
+        # At slot_end + grace: slot 0 finalizes, carrying the wait.
+        results.extend(
+            monitor.feed(MdtRecord(2700.0, "Z", LON + 0.1, LAT, 40.0, S.FREE))
+        )
+        assert [r.slot for r in results] == [0]
+        assert results[0].features.n_arrivals == 1
+        assert results[0].features.mean_wait_s == pytest.approx(100.0)
+        # Slot 1 gets nothing from the spanning pickup.
+        tail = monitor.finish()
+        slot1 = next(r for r in tail if r.slot == 1)
+        assert slot1.features.n_arrivals == 0
+
+    def test_subscribers_receive_finalized_batches(self):
+        grid = TimeSlotGrid(0.0, 3600.0, 1800.0)
+        monitor = _monitor(grid)
+        seen = []
+        monitor.subscribe(seen.append)
+        returned = []
+        for r in pickup_stream(10.0, 5):
+            returned.extend(monitor.feed(r))
+        returned.extend(monitor.finish())
+        assert [r for batch in seen for r in batch] == returned
+        assert all(batch for batch in seen)  # only non-empty batches
+
     def test_amplification_applied(self):
         grid = TimeSlotGrid(0.0, 1800.0, 1800.0)
         monitor = StreamingQueueMonitor(
