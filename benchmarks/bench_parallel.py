@@ -1,0 +1,128 @@
+"""Serial vs parallel wall-clock of the two-tier pipeline (not in the
+paper).
+
+The paper's backend processes 12.4 M records/day; this bench records
+what the zone-sharded :class:`~repro.parallel.ParallelEngineRunner`
+buys over the serial engine at bench scale, per worker count and per
+tier — and, on every run, re-asserts the headline guarantee that the
+parallel output is identical to the serial output.
+
+Speedups are machine-dependent: on a single-CPU container the pool adds
+fork overhead and the speedup column sits near (or below) 1.0x; on the
+multi-core hosts the layer targets, tier 1 approaches the worker count.
+The numbers are recorded, not asserted.
+"""
+
+import time
+
+import pytest
+from conftest import emit
+
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.parallel import ParallelEngineRunner
+
+WORKER_COUNTS = (2, 4)
+
+
+def fresh_engine(bench_day) -> QueueAnalyticEngine:
+    city = bench_day.city
+    return QueueAnalyticEngine(
+        zones=city.zones,
+        projection=city.projection,
+        config=EngineConfig(
+            observed_fraction=bench_day.config.observed_fraction
+        ),
+        city_bbox=city.bbox,
+        inaccessible=city.water,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_timing(bench_day):
+    """Serial tier-1/tier-2 wall clock plus the reference outputs."""
+    engine = fresh_engine(bench_day)
+    start = time.perf_counter()
+    detection = engine.detect_spots(bench_day.store)
+    tier1_s = time.perf_counter() - start
+    start = time.perf_counter()
+    analyses = engine.disambiguate(
+        bench_day.store, detection, bench_day.ground_truth.grid
+    )
+    tier2_s = time.perf_counter() - start
+    return {
+        "tier1_s": tier1_s,
+        "tier2_s": tier2_s,
+        "detection": detection,
+        "analyses": analyses,
+    }
+
+
+def test_parallel_speedup(bench_day, serial_timing):
+    rows = [
+        "serial vs zone-sharded parallel pipeline "
+        f"({len(bench_day.store):,} records, "
+        f"{len(serial_timing['detection'].spots)} spots)",
+        "",
+        f"{'config':>10}  {'tier1 s':>8}  {'tier2 s':>8}  "
+        f"{'t1 speedup':>10}  {'t2 speedup':>10}  {'identical':>9}",
+        f"{'serial':>10}  {serial_timing['tier1_s']:>8.2f}  "
+        f"{serial_timing['tier2_s']:>8.2f}  {'1.00x':>10}  {'1.00x':>10}  "
+        f"{'--':>9}",
+    ]
+    for workers in WORKER_COUNTS:
+        runner = ParallelEngineRunner(fresh_engine(bench_day), workers=workers)
+        start = time.perf_counter()
+        detection = runner.detect_spots(bench_day.store)
+        tier1_s = time.perf_counter() - start
+        start = time.perf_counter()
+        analyses = runner.disambiguate(
+            bench_day.store, detection, bench_day.ground_truth.grid
+        )
+        tier2_s = time.perf_counter() - start
+
+        identical = (
+            detection.spots == serial_timing["detection"].spots
+            and detection.noise_count
+            == serial_timing["detection"].noise_count
+            and analyses == serial_timing["analyses"]
+        )
+        assert identical, f"parallel(workers={workers}) diverged from serial"
+        rows.append(
+            f"{f'{workers} workers':>10}  {tier1_s:>8.2f}  {tier2_s:>8.2f}  "
+            f"{serial_timing['tier1_s'] / tier1_s:>9.2f}x  "
+            f"{serial_timing['tier2_s'] / tier2_s:>9.2f}x  "
+            f"{'yes':>9}"
+        )
+    emit("parallel_speedup", rows)
+
+
+def test_parallel_csv_ingest_throughput(bench_day, serial_timing, tmp_path):
+    """Chunked CSV ingest: split + sharded load + tier 1, end to end."""
+    csv_path = tmp_path / "bench_day.csv"
+    bench_day.store.to_csv(csv_path)
+
+    from repro.trace.log_store import MdtLogStore
+
+    start = time.perf_counter()
+    store = MdtLogStore.from_csv(csv_path)
+    serial_engine = fresh_engine(bench_day)
+    serial_detection = serial_engine.detect_spots(store)
+    serial_s = time.perf_counter() - start
+
+    rows = [
+        f"CSV-to-spots ({len(store):,} records from disk)",
+        "",
+        f"{'config':>10}  {'seconds':>8}  {'speedup':>8}",
+        f"{'serial':>10}  {serial_s:>8.2f}  {'1.00x':>8}",
+    ]
+    for workers in WORKER_COUNTS:
+        runner = ParallelEngineRunner(fresh_engine(bench_day), workers=workers)
+        start = time.perf_counter()
+        detection = runner.detect_spots_csv(csv_path)
+        elapsed = time.perf_counter() - start
+        assert detection.spots == serial_detection.spots
+        rows.append(
+            f"{f'{workers} workers':>10}  {elapsed:>8.2f}  "
+            f"{serial_s / elapsed:>7.2f}x"
+        )
+    emit("parallel_csv_ingest", rows)

@@ -1,0 +1,68 @@
+"""Regenerate the golden regression fixture under ``tests/data/``.
+
+Run after an *intentional* change to pipeline semantics::
+
+    PYTHONPATH=src python scripts/make_golden_fixture.py
+
+Writes ``tests/data/golden_day.csv`` (one small fixed-seed simulated
+day) and ``tests/data/golden_expected.json`` (the exact spots, labels
+and thresholds the serial pipeline produces for it).  Commit both; the
+golden test fails on any byte-level divergence from them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.config import SimulationConfig  # noqa: E402
+from repro.sim.fleet import simulate_day  # noqa: E402
+from repro.trace.log_store import MdtLogStore  # noqa: E402
+from tests._golden import (  # noqa: E402
+    GOLDEN_DECOYS,
+    GOLDEN_FLEET,
+    GOLDEN_SEED,
+    GOLDEN_SPOTS,
+    golden_engine,
+    pipeline_snapshot,
+)
+
+
+def main() -> int:
+    data_dir = REPO_ROOT / "tests" / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    csv_path = data_dir / "golden_day.csv"
+    json_path = data_dir / "golden_expected.json"
+
+    output = simulate_day(
+        SimulationConfig(
+            seed=GOLDEN_SEED,
+            fleet_size=GOLDEN_FLEET,
+            n_queue_spots=GOLDEN_SPOTS,
+            n_decoy_landmarks=GOLDEN_DECOYS,
+        )
+    )
+    output.store.to_csv(csv_path)
+
+    # Reload from the CSV so the snapshot sees exactly what the test
+    # will see (CSV serialisation rounds coordinates to 6 decimals).
+    store = MdtLogStore.from_csv(csv_path)
+    engine = golden_engine(store)
+    snapshot = pipeline_snapshot(engine, store)
+    json_path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+
+    print(f"wrote {len(store)} records to {csv_path}")
+    print(
+        f"wrote {len(snapshot['spots'])} spots / "
+        f"{len(snapshot['labels'])} label sets to {json_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

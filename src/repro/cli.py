@@ -111,6 +111,33 @@ def _engine_for_bbox(
     )
 
 
+def _wrap_workers(engine: QueueAnalyticEngine, args: argparse.Namespace):
+    """Wrap the engine in a ParallelEngineRunner when --workers asks for
+    one; with the default (serial) the engine is returned untouched."""
+    workers = getattr(args, "workers", 1) or 1
+    if workers <= 1:
+        return engine
+    from repro.parallel import ParallelEngineRunner
+
+    return ParallelEngineRunner(engine, workers=workers)
+
+
+def _print_parallel_stats(engine) -> None:
+    """One line per parallel stage (no-op for a plain serial engine)."""
+    stats = getattr(engine, "last_stats", None)
+    if not stats:
+        return
+    for stage, entry in stats.items():
+        mode = "pool" if entry["pool"] else "inline"
+        line = (
+            f"  [parallel] {stage}: {entry['shards']} shards in "
+            f"{entry['seconds']:.2f}s ({mode})"
+        )
+        if entry["failed"]:
+            line += f", {entry['failed']} degraded to serial"
+        print(line)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args)
     output = simulate_day(config)
@@ -136,19 +163,59 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    workers = args.workers or 1
+    if workers > 1:
+        return _detect_parallel(args, workers)
     store = _load_store(args.input)
     if store is None:
         return 2
     bbox = _bbox_from_args(args, store)
     engine = _engine_for_bbox(bbox, args.coverage)
     detection = engine.detect_spots(store)
+    _print_detection(detection, args.top)
+    return 0
+
+
+def _print_detection(detection, top: int) -> None:
     print(f"detected {len(detection.spots)} queue spots "
           f"({detection.noise_count} noise pickup events)")
-    for spot in detection.spots[: args.top]:
+    for spot in detection.spots[:top]:
         print(
             f"  {spot.spot_id}  ({spot.lon:.5f}, {spot.lat:.5f})  "
             f"zone={spot.zone}  pickups={spot.pickup_count}"
         )
+
+
+def _detect_parallel(args: argparse.Namespace, workers: int) -> int:
+    """Tier 1 with chunked CSV ingest: the full day never sits in one
+    process; workers stream their own zone shard from disk."""
+    from repro.parallel import ParallelEngineRunner, scan_csv
+
+    path = Path(args.input)
+    if not path.is_file():
+        print(
+            f"error: input CSV not found: {path}\n"
+            "hint: generate one with 'taxiqueue simulate --output "
+            f"{path}'",
+            file=sys.stderr,
+        )
+        return 2
+    scan = scan_csv(path)
+    if args.bbox:
+        west, south, east, north = (float(x) for x in args.bbox.split(","))
+        bbox = BBox(west, south, east, north)
+    elif scan.bbox is not None:
+        bbox = scan.bbox.expanded(0.01)
+    else:
+        bbox = DEFAULT_CITY_BBOX
+    engine = _engine_for_bbox(bbox, args.coverage)
+    runner = ParallelEngineRunner(engine, workers=workers)
+    detection = runner.detect_spots_csv(path)
+    _print_detection(detection, args.top)
+    report = runner.last_cleaning_report
+    if report is not None and report.malformed_line:
+        print(f"  ({report.malformed_line} malformed CSV lines skipped)")
+    _print_parallel_stats(runner)
     return 0
 
 
@@ -157,10 +224,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if store is None:
         return 2
     bbox = _bbox_from_args(args, store)
-    engine = _engine_for_bbox(bbox, args.coverage)
+    engine = _wrap_workers(_engine_for_bbox(bbox, args.coverage), args)
     detection = engine.detect_spots(store)
     analyses = engine.disambiguate(store, detection)
     print(format_proportions(citywide_proportions(analyses.values())))
+    _print_parallel_stats(engine)
     if args.spot:
         analysis = analyses.get(args.spot)
         if analysis is None:
@@ -277,8 +345,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_s=args.cache_ttl,
         grace_s=args.grace,
     )
+    engine = _wrap_workers(engine, args)
     print(f"bootstrapping spots and thresholds from {source} ...")
-    service = QueueService.from_day(store, engine, service_config, grid)
+    service = QueueService.from_day(
+        store, engine, service_config, grid,
+        metrics=getattr(engine, "metrics", None),
+    )
+    _print_parallel_stats(engine)
     n_spots = len(service.store.spot_ids)
     service.start()
     print(f"serving {n_spots} spots at {service.server.url}")
@@ -335,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--output", default="mdt_logs.csv", help="CSV output path")
     p_sim.set_defaults(func=cmd_simulate)
 
+    workers_help = (
+        "worker processes for the zone-sharded parallel pipeline "
+        "(default 1: serial, unchanged behaviour; see docs/parallel.md)"
+    )
+
     p_det = sub.add_parser("detect", help="detect queue spots from a log CSV")
     p_det.add_argument("input", help="MDT log CSV")
     p_det.add_argument("--coverage", type=float, default=1.0,
@@ -343,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="city bbox 'west,south,east,north'")
     p_det.add_argument("--top", type=int, default=20,
                        help="how many spots to print")
+    p_det.add_argument("--workers", type=int, default=1, help=workers_help)
     p_det.set_defaults(func=cmd_detect)
 
     p_ana = sub.add_parser("analyze", help="detect spots and label queue contexts")
@@ -351,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("--bbox", default=None)
     p_ana.add_argument("--spot", default=None,
                        help="print the transition report of one spot id")
+    p_ana.add_argument("--workers", type=int, default=1, help=workers_help)
     p_ana.set_defaults(func=cmd_analyze)
 
     p_exp = sub.add_parser(
@@ -392,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-seconds", type=float, default=None,
         help="stop after this many seconds (default: serve until Ctrl-C)",
     )
+    p_srv.add_argument("--workers", type=int, default=1, help=workers_help)
     p_srv.set_defaults(func=cmd_serve)
 
     p_demo = sub.add_parser("demo", help="small end-to-end demonstration")

@@ -43,6 +43,11 @@ from repro.trace.cleaning import CleaningReport, clean_store
 from repro.trace.log_store import MdtLogStore
 
 
+#: Fallback street-job ratio when a spot's zone has no trajectories to
+#: estimate one from (the paper's citywide figure, section 6.2.1).
+DEFAULT_STREET_JOB_RATIO = 0.84
+
+
 @dataclass
 class SpotAnalysis:
     """Tier-2 output for one queue spot."""
@@ -60,6 +65,68 @@ class SpotAnalysis:
             IndexError: for an out-of-range slot.
         """
         return self.labels[slot]
+
+
+def analyze_spot(
+    spot: QueueSpot,
+    events: List,
+    grid: TimeSlotGrid,
+    amplification: AmplificationPolicy,
+    policy: ThresholdPolicy,
+    slot_seconds: float,
+    street_job_ratio: float,
+) -> SpotAnalysis:
+    """Tier-2 analysis of one spot: WTE -> features -> thresholds -> QCD.
+
+    The per-spot unit of work, shared by the serial engine loop and the
+    multiprocessing layer (``repro.parallel``) so both produce identical
+    labels for identical inputs.
+
+    Args:
+        spot: the detected queue spot.
+        events: the spot's W(r) bucket of pickup sub-trajectories.
+        grid: the time-slot grid.
+        amplification: observed-fraction correction policy.
+        policy: threshold derivation policy.
+        slot_seconds: slot length in seconds.
+        street_job_ratio: the zone's tau_ratio input.
+    """
+    wait_events = extract_wait_times(events)
+    features = compute_slot_features(wait_events, grid, amplification)
+    thresholds: Optional[QcdThresholds]
+    try:
+        if policy.granularity == "slot":
+            thresholds = derive_thresholds_from_features(
+                features,
+                slot_seconds=slot_seconds,
+                street_job_ratio=street_job_ratio,
+                policy=policy,
+            )
+        else:
+            thresholds = derive_thresholds(
+                wait_events,
+                slot_seconds=slot_seconds,
+                street_job_ratio=street_job_ratio,
+                policy=policy,
+            )
+    except ValueError:
+        thresholds = None
+    if thresholds is None:
+        from repro.core.types import QueueType
+
+        labels = [
+            SlotLabel(slot=f.slot, label=QueueType.UNIDENTIFIED, routine=0)
+            for f in features
+        ]
+    else:
+        labels = disambiguate(features, thresholds)
+    return SpotAnalysis(
+        spot=spot,
+        wait_events=wait_events,
+        features=features,
+        labels=labels,
+        thresholds=thresholds,
+    )
 
 
 @dataclass
@@ -185,41 +252,14 @@ class QueueAnalyticEngine:
 
         analyses: Dict[str, SpotAnalysis] = {}
         for spot in detection.spots:
-            wait_events = extract_wait_times(buckets[spot.spot_id])
-            features = compute_slot_features(wait_events, grid, amplification)
-            thresholds: Optional[QcdThresholds]
-            try:
-                if self.config.thresholds.granularity == "slot":
-                    thresholds = derive_thresholds_from_features(
-                        features,
-                        slot_seconds=self.config.slot_seconds,
-                        street_job_ratio=ratios.get(spot.zone, 0.84),
-                        policy=self.config.thresholds,
-                    )
-                else:
-                    thresholds = derive_thresholds(
-                        wait_events,
-                        slot_seconds=self.config.slot_seconds,
-                        street_job_ratio=ratios.get(spot.zone, 0.84),
-                        policy=self.config.thresholds,
-                    )
-            except ValueError:
-                thresholds = None
-            if thresholds is None:
-                from repro.core.types import QueueType
-
-                labels = [
-                    SlotLabel(slot=f.slot, label=QueueType.UNIDENTIFIED, routine=0)
-                    for f in features
-                ]
-            else:
-                labels = disambiguate(features, thresholds)
-            analyses[spot.spot_id] = SpotAnalysis(
-                spot=spot,
-                wait_events=wait_events,
-                features=features,
-                labels=labels,
-                thresholds=thresholds,
+            analyses[spot.spot_id] = analyze_spot(
+                spot,
+                buckets[spot.spot_id],
+                grid,
+                amplification,
+                self.config.thresholds,
+                self.config.slot_seconds,
+                ratios.get(spot.zone, DEFAULT_STREET_JOB_RATIO),
             )
         return analyses
 

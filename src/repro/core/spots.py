@@ -103,6 +103,61 @@ def detect_queue_spots(
     )
 
 
+def cluster_zone(
+    zone_lonlat: np.ndarray,
+    projection: LocalProjection,
+    params: SpotDetectionParams = SpotDetectionParams(),
+    neighbors_factory: NeighborsFactory = GridNeighbors,
+) -> Tuple[List[Tuple[float, float, int, float]], int]:
+    """DBSCAN one zone's pickup centroids.
+
+    The per-zone unit of work, shared by the serial pipeline and the
+    multiprocessing layer (``repro.parallel``) so both produce identical
+    clusters for identical inputs.
+
+    Args:
+        zone_lonlat: ``(n, 2)`` lon/lat of the zone's pickup centroids.
+
+    Returns:
+        ``(clusters, noise)`` where each cluster is a
+        ``(lon, lat, size, radius_m)`` tuple in DBSCAN discovery order
+        and ``noise`` counts unclustered centroids.
+    """
+    xy = projection.to_xy_array(zone_lonlat[:, 0], zone_lonlat[:, 1])
+    result = dbscan(
+        xy, eps=params.eps_m, min_pts=params.min_pts,
+        neighbors_factory=neighbors_factory,
+    )
+    clusters: List[Tuple[float, float, int, float]] = []
+    for summary in cluster_centroids(xy, result):
+        lon, lat = projection.to_lonlat(summary.x, summary.y)
+        clusters.append((lon, lat, summary.size, summary.radius_m))
+    return clusters, int(len(result.noise_indices()))
+
+
+def assemble_spots(
+    raw_spots: List[Tuple[str, float, float, int, float]],
+) -> List[QueueSpot]:
+    """Order raw ``(zone, lon, lat, size, radius)`` clusters into spots.
+
+    Spots are sorted by descending pickup count (stable, so zone order
+    breaks ties) and assigned ids ``QS001, QS002, ...`` — the
+    deterministic merge both the serial and the parallel pipeline use.
+    """
+    ordered = sorted(raw_spots, key=lambda item: -item[3])
+    return [
+        QueueSpot(
+            spot_id=f"QS{i + 1:03d}",
+            lon=lon,
+            lat=lat,
+            zone=zone_name,
+            pickup_count=size,
+            radius_m=radius,
+        )
+        for i, (zone_name, lon, lat, size, radius) in enumerate(ordered)
+    ]
+
+
 def detect_from_centroids(
     lonlat: np.ndarray,
     zones: ZonePartition,
@@ -129,33 +184,16 @@ def detect_from_centroids(
         zone_lonlat = lonlat[mask]
         if len(zone_lonlat) == 0:
             continue
-        xy = projection.to_xy_array(zone_lonlat[:, 0], zone_lonlat[:, 1])
-        result = dbscan(
-            xy, eps=params.eps_m, min_pts=params.min_pts,
-            neighbors_factory=neighbors_factory,
+        clusters, zone_noise = cluster_zone(
+            zone_lonlat, projection, params, neighbors_factory
         )
-        noise += int(len(result.noise_indices()))
-        for summary in cluster_centroids(xy, result):
-            lon, lat = projection.to_lonlat(summary.x, summary.y)
-            raw_spots.append(
-                (zone.name, lon, lat, summary.size, summary.radius_m)
-            )
+        noise += zone_noise
+        for lon, lat, size, radius in clusters:
+            raw_spots.append((zone.name, lon, lat, size, radius))
             per_zone[zone.name] += 1
 
-    raw_spots.sort(key=lambda item: -item[3])
-    spots = [
-        QueueSpot(
-            spot_id=f"QS{i + 1:03d}",
-            lon=lon,
-            lat=lat,
-            zone=zone_name,
-            pickup_count=size,
-            radius_m=radius,
-        )
-        for i, (zone_name, lon, lat, size, radius) in enumerate(raw_spots)
-    ]
     return SpotDetectionResult(
-        spots=spots,
+        spots=assemble_spots(raw_spots),
         pickup_events=list(events) if events is not None else [],
         centroids_lonlat=lonlat,
         noise_count=noise,

@@ -1,0 +1,44 @@
+"""Parallel zone-sharded execution of the two-tier engine.
+
+See :mod:`repro.parallel.runner` for the architecture and the
+determinism guarantee (parallel output is bit-for-bit the serial
+engine's output), and ``docs/parallel.md`` for the operator view.
+"""
+
+from repro.parallel.ingest import (
+    CsvScan,
+    CsvShard,
+    CsvSplit,
+    scan_csv,
+    split_csv_by_zone,
+)
+from repro.parallel.runner import ParallelEngineRunner
+from repro.parallel.shards import (
+    SpotTask,
+    Tier1FileShardTask,
+    Tier1ShardResult,
+    Tier1ShardTask,
+    ZoneClusterResult,
+    ZoneClusterTask,
+    detach_event,
+    plan_tier1_shards,
+    stable_shard,
+)
+
+__all__ = [
+    "CsvScan",
+    "CsvShard",
+    "CsvSplit",
+    "ParallelEngineRunner",
+    "SpotTask",
+    "Tier1FileShardTask",
+    "Tier1ShardResult",
+    "Tier1ShardTask",
+    "ZoneClusterResult",
+    "ZoneClusterTask",
+    "detach_event",
+    "plan_tier1_shards",
+    "scan_csv",
+    "split_csv_by_zone",
+    "stable_shard",
+]

@@ -1,0 +1,437 @@
+"""A multiprocessing execution layer for the two-tier engine.
+
+:class:`ParallelEngineRunner` wraps a configured
+:class:`~repro.core.engine.QueueAnalyticEngine` behind the same API and
+fans its work out to worker processes:
+
+* **tier 1** (:meth:`detect_spots` / :meth:`detect_spots_csv`) shards by
+  zone — cleaning + PEA per zone-chunk of taxis, then per-zone DBSCAN —
+  and merges deterministically (events re-sorted into the serial taxi
+  scan order, zone clusters re-assembled in partition order);
+* **tier 2** (:meth:`disambiguate`) fans out per spot — WTE, features,
+  threshold derivation and QCD for each spot run independently.
+
+Guarantees and behaviour:
+
+* **bit-for-bit serial equivalence**: workers call the very functions
+  the serial engine calls (:func:`repro.core.spots.cluster_zone`,
+  :func:`repro.core.engine.analyze_spot`, per-taxi cleaning/PEA) and the
+  merge reproduces the serial iteration order exactly, so spots and
+  labels are identical to ``QueueAnalyticEngine``'s, not just close;
+* **serial fallback**: ``workers <= 1``, a single-shard plan, or a
+  single occupied zone run inline — no pool is spawned when spawn
+  overhead would exceed the work;
+* **degradation**: a shard whose worker crashes (or exceeds
+  ``shard_timeout_s``) is recomputed serially in the parent, so one bad
+  worker degrades throughput, never correctness;
+* **observability**: per-stage wall time, per-shard worker time and
+  throughput counters are recorded in a
+  :class:`~repro.service.metrics.MetricsRegistry` (pass the service's
+  registry to surface them at ``/v1/metrics``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import (
+    DEFAULT_STREET_JOB_RATIO,
+    QueueAnalyticEngine,
+    SpotAnalysis,
+)
+from repro.core.spots import (
+    SpotDetectionResult,
+    assemble_spots,
+    assign_events_to_spots,
+    pickup_centroids,
+)
+from repro.core.types import TimeSlotGrid
+from repro.parallel import worker as worker_mod
+from repro.parallel.ingest import split_csv_by_zone
+from repro.parallel.shards import (
+    SpotTask,
+    Tier1FileShardTask,
+    Tier1ShardResult,
+    Tier1ShardTask,
+    ZoneClusterResult,
+    ZoneClusterTask,
+    detach_event,
+    plan_tier1_shards,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.trace.cleaning import CleaningReport
+from repro.trace.log_store import MdtLogStore
+from repro.trace.trajectory import SubTrajectory
+
+
+class ParallelEngineRunner:
+    """Run a :class:`QueueAnalyticEngine` across worker processes.
+
+    Drop-in engine replacement: exposes ``detect_spots`` /
+    ``disambiguate`` / ``preprocess`` plus the attributes the service
+    bootstrap reads (``config``, ``zones``, ``projection``,
+    ``amplification``), so anything accepting an engine accepts a
+    runner.
+
+    Args:
+        engine: the configured serial engine to parallelise.
+        workers: worker process count; ``<= 1`` means pure serial.
+        shard_timeout_s: per-shard timeout; an overdue shard is
+            recomputed serially in the parent (None disables).
+        metrics: registry for stage/shard stats (one is created when
+            omitted — pass the service registry to share).
+        mp_context: a ``multiprocessing`` context or start-method name
+            (defaults to the platform default, ``fork`` on Linux).
+    """
+
+    def __init__(
+        self,
+        engine: QueueAnalyticEngine,
+        workers: int = 2,
+        *,
+        shard_timeout_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        mp_context=None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.engine = engine
+        self.workers = int(workers)
+        self.shard_timeout_s = shard_timeout_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if isinstance(mp_context, str):
+            mp_context = multiprocessing.get_context(mp_context)
+        self._mp_context = mp_context
+        self.last_stats: Dict[str, dict] = {}
+        self.metrics.gauge("parallel.workers").set(self.workers)
+
+    # -- engine-compatible surface ------------------------------------------
+
+    @property
+    def config(self):
+        return self.engine.config
+
+    @property
+    def zones(self):
+        return self.engine.zones
+
+    @property
+    def projection(self):
+        return self.engine.projection
+
+    @property
+    def city_bbox(self):
+        return self.engine.city_bbox
+
+    @property
+    def inaccessible(self):
+        return self.engine.inaccessible
+
+    @property
+    def amplification(self):
+        return self.engine.amplification
+
+    @property
+    def last_cleaning_report(self) -> Optional[CleaningReport]:
+        return self.engine.last_cleaning_report
+
+    def preprocess(self, store: MdtLogStore) -> MdtLogStore:
+        """Section-6.1.1 cleaning (serial; per-store, not per-shard)."""
+        return self.engine.preprocess(store)
+
+    # -- internals ----------------------------------------------------------
+
+    def _make_executor(self, max_workers: int) -> ProcessPoolExecutor:
+        """Build the process pool (overridable seam for tests)."""
+        return ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=self._mp_context
+        )
+
+    def _target_shards(self) -> int:
+        # Twice the worker count: enough slack that one slow shard does
+        # not serialise the stage's tail.
+        return self.workers * 2
+
+    def _run_stage(self, stage: str, tasks: Sequence, fn: Callable) -> List:
+        """Run one stage's tasks, degrading failed shards to serial.
+
+        Tasks run in the pool when both the worker count and the task
+        count exceed one; results come back in task order.  A task whose
+        future raises (worker crash, broken pool) or exceeds
+        ``shard_timeout_s`` is recomputed in the parent process.
+        """
+        results: List = [None] * len(tasks)
+        failed: List[int] = []
+        start = time.perf_counter()
+        use_pool = self.workers > 1 and len(tasks) > 1
+        if use_pool:
+            executor = self._make_executor(min(self.workers, len(tasks)))
+            timed_out = False
+            try:
+                futures = [executor.submit(fn, task) for task in tasks]
+                for i, future in enumerate(futures):
+                    try:
+                        results[i] = future.result(
+                            timeout=self.shard_timeout_s
+                        )
+                    except FuturesTimeoutError:
+                        timed_out = True
+                        failed.append(i)
+                    except Exception:
+                        failed.append(i)
+            finally:
+                # A timed-out worker may be stuck; don't wait on it.
+                executor.shutdown(wait=not timed_out, cancel_futures=True)
+            for i in failed:
+                results[i] = fn(tasks[i], allow_fault=False)
+                self.metrics.counter(
+                    f"parallel.{stage}.serial_fallback"
+                ).inc()
+        else:
+            for i, task in enumerate(tasks):
+                results[i] = fn(task, allow_fault=False)
+        wall = time.perf_counter() - start
+        self.metrics.histogram(f"parallel.{stage}.stage_seconds").observe(wall)
+        self.metrics.counter(f"parallel.{stage}.shards").inc(len(tasks))
+        for result in results:
+            self.metrics.histogram(f"parallel.{stage}.shard_seconds").observe(
+                result.elapsed_s
+            )
+        self.last_stats[stage] = {
+            "shards": len(tasks),
+            "failed": len(failed),
+            "seconds": wall,
+            "pool": use_pool,
+        }
+        return results
+
+    # -- tier 1 -------------------------------------------------------------
+
+    def detect_spots(self, store: MdtLogStore) -> SpotDetectionResult:
+        """Tier 1 over an in-memory store, sharded by zone."""
+        if self.workers <= 1:
+            return self.engine.detect_spots(store)
+        cfg = self.engine.config
+        tasks = plan_tier1_shards(
+            store,
+            self.engine.zones,
+            target_shards=self._target_shards(),
+            clean=cfg.clean_inputs,
+            city_bbox=self.engine.city_bbox,
+            inaccessible=self.engine.inaccessible,
+            params=cfg.detection,
+        )
+        if len(tasks) <= 1 or len({task.zone for task in tasks}) <= 1:
+            # Single shard or single occupied zone: spawn overhead
+            # exceeds the parallelisable work, so stay serial.
+            self.metrics.counter("parallel.tier1.serial_shortcut").inc()
+            return self.engine.detect_spots(store)
+        results = self._run_stage("tier1", tasks, worker_mod.run_tier1_shard)
+        return self._finish_tier1(results, extra_malformed=0)
+
+    def detect_spots_csv(self, path, shard_dir=None) -> SpotDetectionResult:
+        """Tier 1 from a log CSV with chunked ingest.
+
+        The CSV is streamed into per-zone shard files (see
+        :mod:`repro.parallel.ingest`); workers load only their own
+        shard, so no process holds the full day.  Malformed lines are
+        counted in the cleaning report, never raised.
+
+        Args:
+            path: the log CSV.
+            shard_dir: where to write shard files (a temporary
+                directory, removed afterwards, when omitted).
+        """
+        if self.workers <= 1:
+            store = MdtLogStore.from_csv(path, on_error="skip")
+            detection = self.engine.detect_spots(store)
+            if self.engine.last_cleaning_report is not None:
+                self.engine.last_cleaning_report.malformed_line += (
+                    store.skipped_lines
+                )
+            return detection
+        cfg = self.engine.config
+        with tempfile.TemporaryDirectory(
+            prefix="taxiqueue-shards-"
+        ) if shard_dir is None else _keep_dir(shard_dir) as out_dir:
+            split = split_csv_by_zone(
+                path,
+                self.engine.zones,
+                target_shards=self._target_shards(),
+                out_dir=out_dir,
+            )
+            self.metrics.counter("parallel.ingest.rows").inc(split.rows)
+            self.metrics.counter("parallel.ingest.malformed_lines").inc(
+                split.malformed_lines
+            )
+            occupied_zones = {shard.zone for shard in split.shards}
+            if len(split.shards) <= 1 or len(occupied_zones) <= 1:
+                self.metrics.counter("parallel.tier1.serial_shortcut").inc()
+                store = MdtLogStore.from_csv(path, on_error="skip")
+                detection = self.engine.detect_spots(store)
+                if self.engine.last_cleaning_report is not None:
+                    self.engine.last_cleaning_report.malformed_line += (
+                        store.skipped_lines + split.malformed_lines
+                    )
+                return detection
+            tasks = [
+                Tier1FileShardTask(
+                    shard_id=i,
+                    zone=shard.zone,
+                    path=str(shard.path),
+                    clean=cfg.clean_inputs,
+                    city_bbox=self.engine.city_bbox,
+                    inaccessible=self.engine.inaccessible,
+                    params=cfg.detection,
+                )
+                for i, shard in enumerate(split.shards)
+            ]
+            results = self._run_stage(
+                "tier1", tasks, worker_mod.run_tier1_shard
+            )
+        return self._finish_tier1(
+            results, extra_malformed=split.malformed_lines
+        )
+
+    def _finish_tier1(
+        self, results: List[Tier1ShardResult], extra_malformed: int
+    ) -> SpotDetectionResult:
+        """Merge shard results and run the per-zone clustering stage."""
+        cfg = self.engine.config
+        pairs: List[Tuple[str, List[SubTrajectory]]] = []
+        report = CleaningReport() if cfg.clean_inputs else None
+        records_in = 0
+        for result in results:
+            pairs.extend(result.events_by_taxi)
+            records_in += result.records_in
+            if report is not None and result.report is not None:
+                report.merge(result.report)
+        # The serial engine scans taxis in sorted-id order; restoring
+        # that order here is what makes the merge deterministic.
+        pairs.sort(key=lambda pair: pair[0])
+        events = [event for _, subs in pairs for event in subs]
+        if report is not None:
+            report.malformed_line += extra_malformed
+            self.engine.last_cleaning_report = report
+        self.metrics.counter("parallel.tier1.records").inc(records_in)
+        self.metrics.counter("parallel.tier1.events").inc(len(events))
+
+        zones = self.engine.zones
+        projection = self.engine.projection
+        lonlat = pickup_centroids(events)
+        zone_tasks: List[ZoneClusterTask] = []
+        if len(lonlat) > 0:
+            zone_names = np.asarray(
+                [zones.classify_or_nearest(lon, lat) for lon, lat in lonlat]
+            )
+            for zone in zones:
+                mask = zone_names == zone.name
+                if not mask.any():
+                    continue
+                zone_tasks.append(
+                    ZoneClusterTask(
+                        zone=zone.name,
+                        lonlat=lonlat[mask],
+                        projection=projection,
+                        params=cfg.detection,
+                    )
+                )
+        zone_results = self._run_stage(
+            "zones", zone_tasks, worker_mod.run_zone_cluster
+        )
+
+        by_zone: Dict[str, ZoneClusterResult] = {
+            result.zone: result for result in zone_results
+        }
+        raw_spots: List[Tuple[str, float, float, int, float]] = []
+        noise = 0
+        per_zone: Dict[str, int] = {zone.name: 0 for zone in zones}
+        for zone in zones:
+            result = by_zone.get(zone.name)
+            if result is None:
+                continue
+            noise += result.noise
+            for lon, lat, size, radius in result.clusters:
+                raw_spots.append((zone.name, lon, lat, size, radius))
+                per_zone[zone.name] += 1
+        return SpotDetectionResult(
+            spots=assemble_spots(raw_spots),
+            pickup_events=events,
+            centroids_lonlat=lonlat,
+            noise_count=noise,
+            per_zone_counts=per_zone,
+        )
+
+    # -- tier 2 -------------------------------------------------------------
+
+    def disambiguate(
+        self,
+        store: MdtLogStore,
+        detection: SpotDetectionResult,
+        grid: Optional[TimeSlotGrid] = None,
+    ) -> Dict[str, SpotAnalysis]:
+        """Tier 2 with a per-spot fan-out (WTE + features + QCD)."""
+        if self.workers <= 1 or len(detection.spots) <= 1:
+            return self.engine.disambiguate(store, detection, grid)
+        cfg = self.engine.config
+        cleaned = self.engine.preprocess(store)
+        events = detection.pickup_events
+        if not events:
+            from repro.core.pea import extract_all_pickup_events
+
+            events = extract_all_pickup_events(
+                cleaned,
+                speed_threshold_kmh=cfg.detection.speed_threshold_kmh,
+                apply_state_filters=cfg.detection.apply_state_filters,
+            )
+        if grid is None:
+            lo, hi = cleaned.time_span
+            day_start = lo - (lo % 86400.0)
+            grid = TimeSlotGrid(
+                day_start, max(hi, day_start + 86400.0), cfg.slot_seconds
+            )
+        buckets = assign_events_to_spots(
+            events,
+            detection.spots,
+            self.engine.projection,
+            assign_radius_m=cfg.assign_radius_m,
+        )
+        ratios = self.engine._zone_ratios(cleaned)
+        amplification = self.engine.amplification
+        tasks = [
+            SpotTask(
+                spot=spot,
+                events=[detach_event(e) for e in buckets[spot.spot_id]],
+                grid=grid,
+                amplification=amplification,
+                policy=cfg.thresholds,
+                slot_seconds=cfg.slot_seconds,
+                street_job_ratio=ratios.get(
+                    spot.zone, DEFAULT_STREET_JOB_RATIO
+                ),
+            )
+            for spot in detection.spots
+        ]
+        results = self._run_stage("tier2", tasks, worker_mod.run_spot_task)
+        self.metrics.counter("parallel.tier2.spots").inc(len(tasks))
+        return {result.spot_id: result.analysis for result in results}
+
+
+class _keep_dir:
+    """Context manager yielding a caller-owned shard directory as-is."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def __enter__(self):
+        return self.path
+
+    def __exit__(self, *exc):
+        return False

@@ -1,0 +1,231 @@
+"""Picklable shard tasks/results and deterministic shard planning.
+
+The parallel execution layer moves work between processes as plain
+dataclasses so every task and result survives pickling under both the
+``fork`` and ``spawn`` start methods:
+
+* tier 1 is sharded **by zone**: every taxi is assigned a *home zone*
+  (the zone of its first record) and each shard carries the whole
+  trajectories of one zone's taxis — cleaning and PEA are per-taxi
+  computations, so a shard is self-contained.  Zones with many records
+  are sub-chunked for load balance; a taxi never splits across shards.
+* the per-zone DBSCAN stage exchanges pickup centroids between shards:
+  each :class:`ZoneClusterTask` carries exactly one zone's centroid
+  array, mirroring the serial per-zone loop.
+* tier 2 is sharded **by spot**: each :class:`SpotTask` carries one
+  spot's W(r) bucket plus everything WTE/feature/QCD need.
+
+Determinism: shard *assignment* never influences results — the runner
+re-sorts merged pickup events by taxi id (the serial scan order) and
+re-assembles zone clusters in partition order, so the merged output is
+bit-for-bit the serial output regardless of how work was split.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import SpotAnalysis
+from repro.core.features import AmplificationPolicy
+from repro.core.spots import SpotDetectionParams
+from repro.core.thresholds import ThresholdPolicy
+from repro.core.types import QueueSpot, TimeSlotGrid
+from repro.geo.bbox import BBox
+from repro.geo.point import LocalProjection
+from repro.geo.zones import ZonePartition
+from repro.trace.cleaning import CleaningReport
+from repro.trace.log_store import MdtLogStore
+from repro.trace.record import MdtRecord
+from repro.trace.trajectory import SubTrajectory, Trajectory
+
+
+def stable_shard(key: str, n_shards: int) -> int:
+    """A process-stable shard index for ``key`` (crc32, not ``hash``).
+
+    Python's built-in string hash is salted per process, so it cannot be
+    used to agree on shard membership across workers.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+def detach_event(sub: SubTrajectory) -> SubTrajectory:
+    """Copy a sub-trajectory out of its parent trajectory.
+
+    A :class:`SubTrajectory` normally references its full parent
+    trajectory; pickling one would ship the taxi's entire day to the
+    other process.  The detached copy owns just the segment's records.
+    """
+    segment = Trajectory(sub.taxi_id, list(sub))
+    return segment.sub(0, len(segment) - 1)
+
+
+@dataclass
+class Tier1ShardTask:
+    """Cleaning + PEA over one zone-chunk of taxis (records inline)."""
+
+    shard_id: int
+    zone: str
+    taxis: List[Tuple[str, List[MdtRecord]]]
+    clean: bool
+    city_bbox: Optional[BBox]
+    inaccessible: List[BBox]
+    params: SpotDetectionParams
+
+
+@dataclass
+class Tier1FileShardTask:
+    """Cleaning + PEA over one CSV shard file (chunked ingest).
+
+    The worker loads its own shard from disk, so no process ever holds
+    the full day in memory.
+    """
+
+    shard_id: int
+    zone: str
+    path: str
+    clean: bool
+    city_bbox: Optional[BBox]
+    inaccessible: List[BBox]
+    params: SpotDetectionParams
+
+
+@dataclass
+class Tier1ShardResult:
+    """Pickup events (detached) per taxi, plus cleaning accounting."""
+
+    shard_id: int
+    events_by_taxi: List[Tuple[str, List[SubTrajectory]]]
+    report: Optional[CleaningReport]
+    records_in: int
+    elapsed_s: float
+
+
+@dataclass
+class ZoneClusterTask:
+    """Per-zone DBSCAN over one zone's pickup centroids."""
+
+    zone: str
+    lonlat: np.ndarray
+    projection: LocalProjection
+    params: SpotDetectionParams
+
+
+@dataclass
+class ZoneClusterResult:
+    """One zone's clusters in DBSCAN discovery order."""
+
+    zone: str
+    clusters: List[Tuple[float, float, int, float]]
+    noise: int
+    points: int
+    elapsed_s: float
+
+
+@dataclass
+class SpotTask:
+    """Tier-2 analysis of one spot (WTE -> features -> thresholds -> QCD)."""
+
+    spot: QueueSpot
+    events: List[SubTrajectory]
+    grid: TimeSlotGrid
+    amplification: AmplificationPolicy
+    policy: ThresholdPolicy
+    slot_seconds: float
+    street_job_ratio: float
+
+
+@dataclass
+class SpotResult:
+    """The finished :class:`~repro.core.engine.SpotAnalysis` of one spot."""
+
+    spot_id: str
+    analysis: SpotAnalysis
+    elapsed_s: float
+
+
+def taxi_home_zone(zones: ZonePartition, records: List[MdtRecord]) -> str:
+    """The shard-planning zone of a taxi: the zone of its first record.
+
+    Only shard *assignment* depends on this, never results, so the
+    cheapest deterministic rule wins over the engine's majority vote.
+    """
+    first = records[0]
+    return zones.classify_or_nearest(first.lon, first.lat)
+
+
+def plan_tier1_shards(
+    store: MdtLogStore,
+    zones: ZonePartition,
+    target_shards: int,
+    clean: bool,
+    city_bbox: Optional[BBox],
+    inaccessible: List[BBox],
+    params: SpotDetectionParams,
+) -> List[Tier1ShardTask]:
+    """Split a store into zone-grouped, size-balanced tier-1 shards.
+
+    Taxis are grouped by home zone, then each zone's group is chunked so
+    no chunk greatly exceeds ``total_records / target_shards`` — zones
+    with most of the data (Central, typically) get several chunks while
+    sparse zones stay whole.  The plan is deterministic: taxis are
+    visited in sorted id order and chunks filled greedily.
+    """
+    if target_shards < 1:
+        raise ValueError("target_shards must be >= 1")
+    by_zone: Dict[str, List[Tuple[str, List[MdtRecord]]]] = {
+        zone.name: [] for zone in zones
+    }
+    total_records = 0
+    for taxi_id in store.taxi_ids:
+        records = store.records_of(taxi_id)
+        if not records:
+            continue
+        by_zone[taxi_home_zone(zones, records)].append((taxi_id, records))
+        total_records += len(records)
+    if total_records == 0:
+        return []
+
+    budget = max(1, total_records // target_shards)
+    tasks: List[Tier1ShardTask] = []
+    for zone in zones:
+        group = by_zone[zone.name]
+        if not group:
+            continue
+        chunk: List[Tuple[str, List[MdtRecord]]] = []
+        chunk_records = 0
+        for taxi_id, records in group:
+            if chunk and chunk_records + len(records) > budget:
+                tasks.append(
+                    Tier1ShardTask(
+                        shard_id=len(tasks),
+                        zone=zone.name,
+                        taxis=chunk,
+                        clean=clean,
+                        city_bbox=city_bbox,
+                        inaccessible=list(inaccessible),
+                        params=params,
+                    )
+                )
+                chunk = []
+                chunk_records = 0
+            chunk.append((taxi_id, records))
+            chunk_records += len(records)
+        if chunk:
+            tasks.append(
+                Tier1ShardTask(
+                    shard_id=len(tasks),
+                    zone=zone.name,
+                    taxis=chunk,
+                    clean=clean,
+                    city_bbox=city_bbox,
+                    inaccessible=list(inaccessible),
+                    params=params,
+                )
+            )
+    return tasks

@@ -1,0 +1,153 @@
+"""Process-side execution of shard tasks.
+
+Every function here is module-level (picklable by reference) and maps
+one task dataclass to one result dataclass:
+
+* :func:`run_tier1_shard` — cleaning + PEA over a shard's taxis, from
+  inline records or a shard CSV file;
+* :func:`run_zone_cluster` — per-zone DBSCAN via
+  :func:`repro.core.spots.cluster_zone`;
+* :func:`run_spot_task` — tier-2 per-spot analysis via
+  :func:`repro.core.engine.analyze_spot`.
+
+Each worker delegates to the same functions the serial engine runs, so
+equal inputs give bit-identical outputs — the parallel layer only
+decides *where* the code runs.
+
+Fault injection: the ``REPRO_PARALLEL_INJECT_FAULT`` environment
+variable (``crash:<stage>`` or ``sleep:<stage>:<seconds>``) makes a
+worker raise or stall, letting tests exercise the runner's degrade-to-
+serial path without real crashes.  The runner's in-parent fallback
+bypasses the hook via the ``allow_fault`` flag.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Tuple, Union
+
+from repro.core.engine import analyze_spot
+from repro.core.pea import extract_pickup_events
+from repro.core.spots import cluster_zone
+from repro.parallel.shards import (
+    SpotResult,
+    SpotTask,
+    Tier1FileShardTask,
+    Tier1ShardResult,
+    Tier1ShardTask,
+    ZoneClusterResult,
+    ZoneClusterTask,
+    detach_event,
+)
+from repro.trace.cleaning import CleaningReport, clean_records
+from repro.trace.record import MdtRecord
+from repro.trace.trajectory import SubTrajectory, Trajectory
+
+#: Environment variable consumed by :func:`_maybe_inject_fault`.
+FAULT_ENV = "REPRO_PARALLEL_INJECT_FAULT"
+
+
+def _maybe_inject_fault(stage: str) -> None:
+    """Honour a ``crash:<stage>`` / ``sleep:<stage>:<s>`` test directive."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    parts = spec.split(":")
+    if len(parts) >= 2 and parts[0] == "crash" and parts[1] == stage:
+        raise RuntimeError(f"injected fault in stage {stage!r}")
+    if len(parts) == 3 and parts[0] == "sleep" and parts[1] == stage:
+        time.sleep(float(parts[2]))
+
+
+def _clean_pea_taxis(
+    taxis: List[Tuple[str, List[MdtRecord]]],
+    task: Union[Tier1ShardTask, Tier1FileShardTask],
+    report: CleaningReport,
+) -> List[Tuple[str, List[SubTrajectory]]]:
+    """Cleaning + PEA for each taxi; events are detached for pickling."""
+    out: List[Tuple[str, List[SubTrajectory]]] = []
+    for taxi_id, records in taxis:
+        if task.clean:
+            records = clean_records(
+                records,
+                city_bbox=task.city_bbox,
+                inaccessible=task.inaccessible,
+                report=report,
+            )
+        trajectory = Trajectory(taxi_id, records)
+        events = extract_pickup_events(
+            trajectory,
+            speed_threshold_kmh=task.params.speed_threshold_kmh,
+            apply_state_filters=task.params.apply_state_filters,
+        )
+        out.append((taxi_id, [detach_event(event) for event in events]))
+    return out
+
+
+def run_tier1_shard(
+    task: Union[Tier1ShardTask, Tier1FileShardTask],
+    allow_fault: bool = True,
+) -> Tier1ShardResult:
+    """Cleaning + PEA over one shard (inline records or a CSV file)."""
+    start = time.perf_counter()
+    if allow_fault:
+        _maybe_inject_fault("tier1")
+    report = CleaningReport()
+    if isinstance(task, Tier1FileShardTask):
+        from repro.trace.log_store import MdtLogStore
+
+        store = MdtLogStore.from_csv(task.path, on_error="skip")
+        report.malformed_line += store.skipped_lines
+        taxis = [
+            (taxi_id, store.records_of(taxi_id)) for taxi_id in store.taxi_ids
+        ]
+    else:
+        taxis = task.taxis
+    records_in = sum(len(records) for _, records in taxis)
+    events_by_taxi = _clean_pea_taxis(taxis, task, report)
+    return Tier1ShardResult(
+        shard_id=task.shard_id,
+        events_by_taxi=events_by_taxi,
+        report=report if task.clean else None,
+        records_in=records_in,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def run_zone_cluster(
+    task: ZoneClusterTask, allow_fault: bool = True
+) -> ZoneClusterResult:
+    """Per-zone DBSCAN over one zone's pickup centroids."""
+    start = time.perf_counter()
+    if allow_fault:
+        _maybe_inject_fault("zones")
+    clusters, noise = cluster_zone(task.lonlat, task.projection, task.params)
+    return ZoneClusterResult(
+        zone=task.zone,
+        clusters=clusters,
+        noise=noise,
+        points=int(len(task.lonlat)),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def run_spot_task(task: SpotTask, allow_fault: bool = True) -> SpotResult:
+    """Tier-2 analysis of one spot."""
+    start = time.perf_counter()
+    if allow_fault:
+        _maybe_inject_fault("tier2")
+    analysis = analyze_spot(
+        task.spot,
+        task.events,
+        task.grid,
+        task.amplification,
+        task.policy,
+        task.slot_seconds,
+        task.street_job_ratio,
+    )
+    return SpotResult(
+        spot_id=task.spot.spot_id,
+        analysis=analysis,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -66,18 +66,25 @@ class QueueService:
         engine: QueueAnalyticEngine,
         config: Optional[ServiceConfig] = None,
         grid: Optional[TimeSlotGrid] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "QueueService":
         """Bootstrap the full stack from one day of logs.
 
         Args:
             store: the day's MDT logs (simulated or loaded from CSV).
-            engine: a configured batch engine; runs tiers 1 and 2 once
-                to obtain the spot set and per-spot thresholds.
+            engine: a configured batch engine — or any engine-shaped
+                runner such as
+                :class:`~repro.parallel.runner.ParallelEngineRunner`;
+                runs tiers 1 and 2 once to obtain the spot set and
+                per-spot thresholds.
             config: serving knobs.
             grid: slot grid; defaults to the engine's daily default.
+            metrics: registry to record into; pass a runner's registry
+                so bootstrap parallelism stats surface at
+                ``/v1/metrics`` (one is created when omitted).
         """
         config = config or ServiceConfig()
-        metrics = MetricsRegistry()
+        metrics = metrics if metrics is not None else MetricsRegistry()
 
         with metrics.time("bootstrap.seconds"):
             cleaned = engine.preprocess(store)

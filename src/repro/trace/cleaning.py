@@ -36,6 +36,10 @@ class CleaningReport:
     improper_state: int = 0
     duplicate: int = 0
     gps_error: int = 0
+    malformed_line: int = 0
+    """Raw CSV lines that never became records (truncated, non-numeric
+    or non-finite fields, unknown state codes).  Counted separately from
+    ``total_in``, which only sees parsed records."""
 
     @property
     def total_removed(self) -> int:
@@ -55,6 +59,7 @@ class CleaningReport:
         self.improper_state += other.improper_state
         self.duplicate += other.duplicate
         self.gps_error += other.gps_error
+        self.malformed_line += other.malformed_line
 
 
 def _is_duplicate(a: MdtRecord, b: MdtRecord) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime, timezone
+from math import isfinite
 from typing import Sequence
 
 from repro.states.states import TaxiState, parse_state
@@ -71,18 +72,27 @@ class MdtRecord:
 
         Raises:
             ValueError: on a malformed line (wrong arity, bad timestamp,
-                unknown state, non-numeric coordinates).
+                unknown state, non-numeric or non-finite coordinates and
+                speeds — a NaN longitude would otherwise poison every
+                distance computation downstream).
         """
         parts = row.rstrip("\n").split(",")
         if len(parts) != 6:
             raise ValueError(f"expected 6 fields, got {len(parts)}: {row!r}")
-        ts_text, taxi_id, lon, lat, speed, state = parts
+        ts_text, taxi_id, lon_text, lat_text, speed_text, state = parts
+        lon = float(lon_text)
+        lat = float(lat_text)
+        speed = float(speed_text)
+        if not (isfinite(lon) and isfinite(lat) and isfinite(speed)):
+            raise ValueError(f"non-finite coordinate or speed: {row!r}")
+        if not taxi_id:
+            raise ValueError(f"empty taxi id: {row!r}")
         return cls(
             ts=parse_timestamp(ts_text),
             taxi_id=taxi_id,
-            lon=float(lon),
-            lat=float(lat),
-            speed=float(speed),
+            lon=lon,
+            lat=lat,
+            speed=speed,
             state=parse_state(state),
         )
 

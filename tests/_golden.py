@@ -1,0 +1,82 @@
+"""Canonical construction of the golden-regression pipeline.
+
+Shared by the committed-fixture test (``test_golden_regression.py``) and
+the regeneration script (``scripts/make_golden_fixture.py``) so both
+always agree on engine parameters and on the JSON shape.
+
+The engine is rebuilt *from the CSV alone* (bbox from the records, the
+standard four-zone partition, fixed detection parameters), so the
+fixture pins the full ingest -> clean -> PEA -> DBSCAN -> WTE ->
+features -> thresholds -> QCD chain against any future refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.core.spots import SpotDetectionParams
+from repro.geo.bbox import BBox
+from repro.geo.point import LocalProjection
+from repro.geo.zones import four_zone_partition
+from repro.trace.log_store import MdtLogStore
+
+#: Simulation inputs of the committed day (regeneration script only).
+GOLDEN_SEED = 1234
+GOLDEN_FLEET = 40
+GOLDEN_SPOTS = 6
+GOLDEN_DECOYS = 4
+
+#: Detection parameters sized for the small fixture day (the paper's
+#: min_pts=50 assumes a far larger fleet).
+GOLDEN_MIN_PTS = 20
+
+
+def golden_engine(store: MdtLogStore) -> QueueAnalyticEngine:
+    """The deterministic engine the golden pipeline runs."""
+    bbox = BBox.from_points(
+        (r.lon, r.lat) for r in store.iter_records()
+    ).expanded(0.01)
+    lon, lat = bbox.center
+    return QueueAnalyticEngine(
+        zones=four_zone_partition(bbox),
+        projection=LocalProjection(lon, lat),
+        config=EngineConfig(
+            detection=SpotDetectionParams(min_pts=GOLDEN_MIN_PTS)
+        ),
+        city_bbox=bbox,
+    )
+
+
+def pipeline_snapshot(engine_like, store: MdtLogStore) -> Dict:
+    """Run both tiers and reduce the output to a JSON-able snapshot.
+
+    Floats are emitted verbatim (Python's shortest-roundtrip repr), so
+    JSON round-trips are exact and equality means bit-for-bit identical
+    spots and labels.
+    """
+    detection = engine_like.detect_spots(store)
+    analyses = engine_like.disambiguate(store, detection)
+    return {
+        "noise_count": detection.noise_count,
+        "per_zone_counts": dict(detection.per_zone_counts),
+        "spots": [asdict(spot) for spot in detection.spots],
+        "thresholds": {
+            spot_id: (
+                None
+                if analysis.thresholds is None
+                else asdict(analysis.thresholds)
+            )
+            for spot_id, analysis in analyses.items()
+        },
+        "labels": {
+            spot_id: [
+                {"slot": label.slot,
+                 "label": label.label.value,
+                 "routine": label.routine}
+                for label in analysis.labels
+            ]
+            for spot_id, analysis in analyses.items()
+        },
+    }
