@@ -5,9 +5,12 @@ Run after an *intentional* change to pipeline semantics::
     PYTHONPATH=src python scripts/make_golden_fixture.py
 
 Writes ``tests/data/golden_day.csv`` (one small fixed-seed simulated
-day) and ``tests/data/golden_expected.json`` (the exact spots, labels
-and thresholds the serial pipeline produces for it).  Commit both; the
-golden test fails on any byte-level divergence from them.
+day), ``tests/data/golden_expected.json`` (the exact spots, labels
+and thresholds the serial pipeline produces for it) and
+``tests/data/golden_streaming.json`` (the exact serving state the
+streaming monitor converges to for the same day — the crash-recovery
+fixture).  Commit all three; the golden tests fail on any byte-level
+divergence from them.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from tests._golden import (  # noqa: E402
     GOLDEN_SPOTS,
     golden_engine,
     pipeline_snapshot,
+    streaming_snapshot,
 )
 
 
@@ -38,6 +42,7 @@ def main() -> int:
     data_dir.mkdir(parents=True, exist_ok=True)
     csv_path = data_dir / "golden_day.csv"
     json_path = data_dir / "golden_expected.json"
+    streaming_path = data_dir / "golden_streaming.json"
 
     output = simulate_day(
         SimulationConfig(
@@ -56,10 +61,19 @@ def main() -> int:
     snapshot = pipeline_snapshot(engine, store)
     json_path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
 
+    streaming = streaming_snapshot(golden_engine(store), store)
+    streaming_path.write_text(
+        json.dumps(streaming, indent=1, sort_keys=True) + "\n"
+    )
+
     print(f"wrote {len(store)} records to {csv_path}")
     print(
         f"wrote {len(snapshot['spots'])} spots / "
         f"{len(snapshot['labels'])} label sets to {json_path}"
+    )
+    print(
+        f"wrote streaming state (snapshot v{streaming['version']}, "
+        f"{len(streaming['spots'])} spots) to {streaming_path}"
     )
     return 0
 

@@ -119,7 +119,20 @@ def _wrap_workers(engine: QueueAnalyticEngine, args: argparse.Namespace):
         return engine
     from repro.parallel import ParallelEngineRunner
 
-    return ParallelEngineRunner(engine, workers=workers)
+    return ParallelEngineRunner(
+        engine, workers=workers, checkpointer=_stage_checkpointer(args)
+    )
+
+
+def _stage_checkpointer(args: argparse.Namespace):
+    """A CheckpointManager for parallel stage checkpoints, when the
+    subcommand was given --checkpoint-dir."""
+    directory = getattr(args, "checkpoint_dir", None)
+    if directory is None:
+        return None
+    from repro.resilience import CheckpointManager
+
+    return CheckpointManager(directory)
 
 
 def _print_parallel_stats(engine) -> None:
@@ -164,7 +177,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     workers = args.workers or 1
-    if workers > 1:
+    if workers > 1 or args.checkpoint_dir is not None:
+        # Stage checkpoints ride on the runner even in serial mode.
         return _detect_parallel(args, workers)
     store = _load_store(args.input)
     if store is None:
@@ -209,7 +223,9 @@ def _detect_parallel(args: argparse.Namespace, workers: int) -> int:
     else:
         bbox = DEFAULT_CITY_BBOX
     engine = _engine_for_bbox(bbox, args.coverage)
-    runner = ParallelEngineRunner(engine, workers=workers)
+    runner = ParallelEngineRunner(
+        engine, workers=workers, checkpointer=_stage_checkpointer(args)
+    )
     detection = runner.detect_spots_csv(path)
     _print_detection(detection, args.top)
     report = runner.last_cleaning_report
@@ -344,6 +360,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         speedup=None if args.speedup <= 0 else args.speedup,
         cache_ttl_s=args.cache_ttl,
         grace_s=args.grace,
+        disorder_window_s=args.disorder_window,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_records=args.checkpoint_every,
+        stale_after_s=args.stale_after,
     )
     engine = _wrap_workers(engine, args)
     print(f"bootstrapping spots and thresholds from {source} ...")
@@ -352,6 +372,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics=getattr(engine, "metrics", None),
     )
     _print_parallel_stats(engine)
+    if service.resumed_from is not None:
+        print(
+            f"restored checkpoint from {args.checkpoint_dir}; resuming "
+            f"replay at record {service.resumed_from} "
+            f"(snapshot v{service.store.version})"
+        )
     n_spots = len(service.store.spot_ids)
     service.start()
     print(f"serving {n_spots} spots at {service.server.url}")
@@ -369,6 +395,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else:
             while not service.replayer.finished.wait(timeout=1.0):
                 pass
+            if service.watchdog is not None:
+                service.watchdog.expect_idle()
             print("replay finished; still serving the final snapshot "
                   "(Ctrl-C to stop)")
             while True:
@@ -422,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--top", type=int, default=20,
                        help="how many spots to print")
     p_det.add_argument("--workers", type=int, default=1, help=workers_help)
+    p_det.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for pipeline stage checkpoints; a rerun over the "
+        "same input reuses completed stages (see docs/resilience.md)",
+    )
     p_det.set_defaults(func=cmd_detect)
 
     p_ana = sub.add_parser("analyze", help="detect spots and label queue contexts")
@@ -473,6 +506,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many seconds (default: serve until Ctrl-C)",
     )
     p_srv.add_argument("--workers", type=int, default=1, help=workers_help)
+    p_srv.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for periodic service checkpoints; on restart the "
+        "newest good checkpoint is restored and the replay resumes "
+        "exactly where it was killed (see docs/resilience.md)",
+    )
+    p_srv.add_argument(
+        "--checkpoint-every", type=int, default=5000,
+        help="checkpoint cadence in consumed records (default 5000)",
+    )
+    p_srv.add_argument(
+        "--disorder-window", type=float, default=0.0,
+        help="bounded-lateness reorder window in stream seconds; records "
+        "arriving out of order within the window are re-sequenced before "
+        "the monitor, later ones are dropped and counted (0 disables)",
+    )
+    p_srv.add_argument(
+        "--stale-after", type=float, default=30.0,
+        help="watchdog staleness threshold in wall seconds (surfaced at "
+        "/v1/healthz and /v1/metrics)",
+    )
     p_srv.set_defaults(func=cmd_serve)
 
     p_demo = sub.add_parser("demo", help="small end-to-end demonstration")

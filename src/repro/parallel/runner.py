@@ -27,7 +27,13 @@ Guarantees and behaviour:
 * **observability**: per-stage wall time, per-shard worker time and
   throughput counters are recorded in a
   :class:`~repro.service.metrics.MetricsRegistry` (pass the service's
-  registry to surface them at ``/v1/metrics``).
+  registry to surface them at ``/v1/metrics``);
+* **durability**: with a :class:`~repro.resilience.CheckpointManager`
+  attached, the merged output of each stage is checkpointed at the
+  shard-merge boundary (tier-1 spot assembly, tier-2 fan-in), keyed by
+  a fingerprint of the input and the engine configuration; a rerun
+  over the same input resumes from the newest matching checkpoint
+  instead of recomputing the stage.
 """
 
 from __future__ import annotations
@@ -89,6 +95,10 @@ class ParallelEngineRunner:
             omitted — pass the service registry to share).
         mp_context: a ``multiprocessing`` context or start-method name
             (defaults to the platform default, ``fork`` on Linux).
+        checkpointer: optional
+            :class:`~repro.resilience.CheckpointManager`; merged stage
+            outputs are checkpointed at shard-merge boundaries and
+            reused on fingerprint-matching reruns.
     """
 
     def __init__(
@@ -99,6 +109,7 @@ class ParallelEngineRunner:
         shard_timeout_s: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         mp_context=None,
+        checkpointer=None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -109,6 +120,7 @@ class ParallelEngineRunner:
         if isinstance(mp_context, str):
             mp_context = multiprocessing.get_context(mp_context)
         self._mp_context = mp_context
+        self.checkpointer = checkpointer
         self.last_stats: Dict[str, dict] = {}
         self.metrics.gauge("parallel.workers").set(self.workers)
 
@@ -145,6 +157,63 @@ class ParallelEngineRunner:
     def preprocess(self, store: MdtLogStore) -> MdtLogStore:
         """Section-6.1.1 cleaning (serial; per-store, not per-shard)."""
         return self.engine.preprocess(store)
+
+    # -- stage checkpoints ---------------------------------------------------
+
+    def _fingerprint(self, *parts) -> str:
+        """A stable digest of the inputs deciding a stage's output."""
+        import hashlib
+
+        text = repr((parts, repr(self.engine.config)))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def _store_parts(self, store: MdtLogStore):
+        if len(store) == 0:
+            return (0, None)
+        return (len(store), store.time_span)
+
+    def _load_stage(self, stage: str, fingerprint: str):
+        """The newest checkpoint of ``stage`` matching ``fingerprint``."""
+        if self.checkpointer is None:
+            return None
+        payload = self.checkpointer.find(
+            lambda p: p.get("kind") == "parallel-stage"
+            and p.get("stage") == stage
+            and p.get("fingerprint") == fingerprint
+        )
+        if payload is None:
+            return None
+        self.metrics.counter(f"parallel.{stage}.checkpoint_reused").inc()
+        return payload["result"]
+
+    def _save_stage(self, stage: str, fingerprint: str, result) -> None:
+        """Checkpoint a merged stage output at its shard-merge boundary."""
+        if self.checkpointer is None:
+            return
+        self.checkpointer.save(
+            {
+                "kind": "parallel-stage",
+                "stage": stage,
+                "fingerprint": fingerprint,
+                "result": result,
+            }
+        )
+        self.metrics.counter(f"parallel.{stage}.checkpoint_saved").inc()
+
+    @staticmethod
+    def _detach_detection(
+        detection: SpotDetectionResult,
+    ) -> SpotDetectionResult:
+        """A checkpoint-sized copy: drop the pickup events (they
+        reference whole parent trajectories; ``disambiguate`` re-derives
+        them identically from the store when absent)."""
+        return SpotDetectionResult(
+            spots=detection.spots,
+            pickup_events=[],
+            centroids_lonlat=detection.centroids_lonlat,
+            noise_count=detection.noise_count,
+            per_zone_counts=detection.per_zone_counts,
+        )
 
     # -- internals ----------------------------------------------------------
 
@@ -216,6 +285,17 @@ class ParallelEngineRunner:
 
     def detect_spots(self, store: MdtLogStore) -> SpotDetectionResult:
         """Tier 1 over an in-memory store, sharded by zone."""
+        fingerprint = self._fingerprint("tier1", self._store_parts(store))
+        cached = self._load_stage("tier1", fingerprint)
+        if cached is not None:
+            return cached
+        detection = self._detect_spots_uncached(store)
+        self._save_stage(
+            "tier1", fingerprint, self._detach_detection(detection)
+        )
+        return detection
+
+    def _detect_spots_uncached(self, store: MdtLogStore) -> SpotDetectionResult:
         if self.workers <= 1:
             return self.engine.detect_spots(store)
         cfg = self.engine.config
@@ -249,6 +329,23 @@ class ParallelEngineRunner:
             shard_dir: where to write shard files (a temporary
                 directory, removed afterwards, when omitted).
         """
+        import os
+
+        fingerprint = self._fingerprint(
+            "tier1csv", str(path), os.path.getsize(path)
+        )
+        cached = self._load_stage("tier1", fingerprint)
+        if cached is not None:
+            return cached
+        detection = self._detect_spots_csv_uncached(path, shard_dir)
+        self._save_stage(
+            "tier1", fingerprint, self._detach_detection(detection)
+        )
+        return detection
+
+    def _detect_spots_csv_uncached(
+        self, path, shard_dir=None
+    ) -> SpotDetectionResult:
         if self.workers <= 1:
             store = MdtLogStore.from_csv(path, on_error="skip")
             detection = self.engine.detect_spots(store)
@@ -378,6 +475,27 @@ class ParallelEngineRunner:
         grid: Optional[TimeSlotGrid] = None,
     ) -> Dict[str, SpotAnalysis]:
         """Tier 2 with a per-spot fan-out (WTE + features + QCD)."""
+        fingerprint = self._fingerprint(
+            "tier2",
+            self._store_parts(store),
+            tuple(spot.spot_id for spot in detection.spots),
+            None
+            if grid is None
+            else (grid.start_ts, grid.end_ts, grid.slot_seconds),
+        )
+        cached = self._load_stage("tier2", fingerprint)
+        if cached is not None:
+            return cached
+        analyses = self._disambiguate_uncached(store, detection, grid)
+        self._save_stage("tier2", fingerprint, analyses)
+        return analyses
+
+    def _disambiguate_uncached(
+        self,
+        store: MdtLogStore,
+        detection: SpotDetectionResult,
+        grid: Optional[TimeSlotGrid] = None,
+    ) -> Dict[str, SpotAnalysis]:
         if self.workers <= 1 or len(detection.spots) <= 1:
             return self.engine.disambiguate(store, detection, grid)
         cfg = self.engine.config

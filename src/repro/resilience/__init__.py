@@ -1,0 +1,45 @@
+"""Fault tolerance for the live streaming tier.
+
+The paper's deployed system (section 7.1) assumes a clean, ordered MDT
+feed and a process that never dies; production feeds are neither.  This
+package is the robustness layer between the raw feed and the analytics:
+
+* :mod:`repro.resilience.reorder` — :class:`ReorderBuffer`, a bounded
+  disorder-tolerant ingest front-end (watermarks, duplicate
+  suppression, late-record accounting);
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointManager` and
+  :class:`ServiceCheckpointer`, atomic (write-temp + fsync + rename)
+  checkpoint/restore of monitor + snapshot + buffer state so
+  ``taxiqueue serve --checkpoint-dir`` resumes bit-identically after a
+  kill;
+* :mod:`repro.resilience.chaos` — :class:`ChaosStream` and
+  :class:`FaultPlan`, seeded deterministic reorder / duplicate / drop /
+  stall / crash injection for any record iterator;
+* :mod:`repro.resilience.watchdog` — :class:`ServiceWatchdog`, a
+  freshness probe maintaining the staleness gauges the degraded
+  serving path surfaces.
+
+See ``docs/resilience.md`` for the end-to-end story and tuning.
+"""
+
+from repro.resilience.chaos import (
+    ChaosStream,
+    FaultPlan,
+    InjectedCrash,
+    disordered_copy,
+)
+from repro.resilience.checkpoint import CheckpointManager, ServiceCheckpointer
+from repro.resilience.reorder import ReorderBuffer, record_key
+from repro.resilience.watchdog import ServiceWatchdog
+
+__all__ = [
+    "ChaosStream",
+    "CheckpointManager",
+    "FaultPlan",
+    "InjectedCrash",
+    "ReorderBuffer",
+    "ServiceCheckpointer",
+    "ServiceWatchdog",
+    "disordered_copy",
+    "record_key",
+]

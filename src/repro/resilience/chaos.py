@@ -1,0 +1,177 @@
+"""Deterministic fault injection for record streams.
+
+The resilience guarantees of this package are only as good as the
+faults they are tested against; :class:`ChaosStream` makes those faults
+*reproducible*.  It wraps any record iterator and injects seeded
+reorder / duplicate / drop / stall / crash faults from one
+``random.Random(seed)``, so a failing chaos run is replayed exactly by
+its seed — no flaky tests, and CI can pin a fixed seed matrix.
+
+Fault classes (all independently rated):
+
+* **reorder** — a record is held back and re-emitted up to
+  ``max_delay`` positions later (bounded displacement, the disorder
+  model :class:`~repro.resilience.reorder.ReorderBuffer` absorbs);
+* **duplicate** — a record is emitted twice back to back;
+* **drop** — a record is silently lost;
+* **stall** — the feed blocks for ``stall_s`` (via ``sleep_fn``, so
+  tests can fake time);
+* **crash** — :class:`InjectedCrash` is raised after consuming
+  ``crash_after`` source records, simulating a hard process kill
+  mid-stream.
+
+:func:`disordered_copy` is the offline sibling used by property tests:
+a seeded bounded-lateness permutation (plus optional duplicates) of a
+record list, guaranteed to stay inside a ``window_s`` lateness bound.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.trace.record import MdtRecord
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by :class:`ChaosStream` to simulate a hard mid-stream kill."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded fault configuration (all rates are per-record)."""
+
+    seed: int = 0
+    reorder_rate: float = 0.0
+    max_delay: int = 8
+    duplicate_rate: float = 0.0
+    drop_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.02
+    crash_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("reorder_rate", "duplicate_rate", "drop_rate", "stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        if self.crash_after is not None and self.crash_after < 0:
+            raise ValueError("crash_after must be >= 0")
+
+
+class ChaosStream:
+    """A fault-injecting iterator over records.
+
+    Args:
+        records: the source iterable.
+        plan: the seeded fault plan.
+        sleep_fn: how stalls block (injectable for tests).
+
+    Attributes:
+        stats: per-fault counts (``reordered`` / ``duplicated`` /
+            ``dropped`` / ``stalled`` / ``crashed`` / ``consumed``).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[MdtRecord],
+        plan: FaultPlan,
+        sleep_fn=time.sleep,
+    ):
+        self.records = records
+        self.plan = plan
+        self.sleep_fn = sleep_fn
+        self.stats: Dict[str, int] = {
+            "consumed": 0,
+            "reordered": 0,
+            "duplicated": 0,
+            "dropped": 0,
+            "stalled": 0,
+            "crashed": 0,
+        }
+
+    def __iter__(self) -> Iterator[MdtRecord]:
+        rng = random.Random(self.plan.seed)
+        plan = self.plan
+        # Held-back records as (remaining_delay, arrival_index, record);
+        # the arrival index keeps the release order deterministic.
+        held: List[List] = []
+        for record in self.records:
+            if (
+                plan.crash_after is not None
+                and self.stats["consumed"] >= plan.crash_after
+            ):
+                self.stats["crashed"] += 1
+                raise InjectedCrash(
+                    f"injected crash after {self.stats['consumed']} records"
+                )
+            self.stats["consumed"] += 1
+            if plan.stall_rate and rng.random() < plan.stall_rate:
+                self.stats["stalled"] += 1
+                self.sleep_fn(plan.stall_s)
+            if plan.drop_rate and rng.random() < plan.drop_rate:
+                self.stats["dropped"] += 1
+                continue
+            if plan.reorder_rate and rng.random() < plan.reorder_rate:
+                self.stats["reordered"] += 1
+                held.append(
+                    [rng.randint(1, plan.max_delay), len(held), record]
+                )
+                continue
+            yield from self._emit(record, rng)
+            yield from self._tick_held(held, rng)
+        # End of source: release every held record in arrival order.
+        for _, _, record in sorted(held, key=lambda entry: entry[1]):
+            yield from self._emit(record, rng)
+
+    def _emit(
+        self, record: MdtRecord, rng: random.Random
+    ) -> Iterator[MdtRecord]:
+        yield record
+        if self.plan.duplicate_rate and rng.random() < self.plan.duplicate_rate:
+            self.stats["duplicated"] += 1
+            yield record
+
+    def _tick_held(
+        self, held: List[List], rng: random.Random
+    ) -> Iterator[MdtRecord]:
+        due: List[List] = []
+        for entry in held:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                due.append(entry)
+        for entry in sorted(due, key=lambda e: e[1]):
+            held.remove(entry)
+            yield from self._emit(entry[2], rng)
+
+
+def disordered_copy(
+    records: Sequence[MdtRecord],
+    seed: int,
+    window_s: float,
+    duplicate_rate: float = 0.0,
+) -> List[MdtRecord]:
+    """A seeded bounded-lateness permutation (with optional duplicates).
+
+    Each record's arrival is jittered by ``uniform(0, window_s)``
+    stream-seconds, then the copy is sorted by jittered time: any record
+    arrives before every record more than ``window_s`` newer than it, so
+    a :class:`~repro.resilience.reorder.ReorderBuffer` with the same
+    window provably re-releases the canonical order with no late drops.
+    """
+    if window_s < 0:
+        raise ValueError("window must be non-negative")
+    rng = random.Random(seed)
+    arrivals = []
+    for index, record in enumerate(records):
+        arrivals.append((record.ts + rng.uniform(0.0, window_s), index, record))
+        if duplicate_rate and rng.random() < duplicate_rate:
+            arrivals.append(
+                (record.ts + rng.uniform(0.0, window_s), index, record)
+            )
+    arrivals.sort(key=lambda entry: (entry[0], entry[1]))
+    return [record for _, _, record in arrivals]

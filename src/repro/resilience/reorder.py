@@ -1,0 +1,222 @@
+"""Disorder-tolerant ingest: a bounded reorder buffer with watermarks.
+
+Event-driven MDT feeds arrive late, duplicated and out of order (radio
+retries, per-cell batching, operator gateway failover); feeding such a
+stream straight into :class:`~repro.stream.StreamingQueueMonitor` would
+corrupt WTE intervals — the incremental PEA requires per-taxi time order
+and the monitor's slot clock assumes a (mostly) forward-moving stream.
+
+:class:`ReorderBuffer` sits in front of the monitor and restores order
+under a *bounded lateness* assumption: a record may arrive at most
+``window_s`` stream-seconds after records that are newer than it.  The
+buffer holds records in a min-heap and releases them once the
+**watermark** — the newest timestamp seen minus the window — passes
+them, in a canonical total order (timestamp, then taxi id, then the
+remaining fields), so any bounded-disorder arrival permutation of a
+stream releases the *same* ordered sequence.
+
+Three fault classes are absorbed and accounted, never raised:
+
+* **duplicates** — a record identical to one still inside the buffer's
+  horizon is dropped (``duplicates``);
+* **late records** — a record older than the released watermark cannot
+  be emitted without breaking order and is dropped (``late_dropped``);
+* **overflow** — if more than ``max_buffered`` records are pending (the
+  feed violated its lateness bound wholesale), the oldest is force-
+  released so memory stays bounded (``forced_releases``).
+
+Counts are mirrored into a :class:`~repro.service.metrics.
+MetricsRegistry` when one is supplied, so the serving layer surfaces
+ingest health at ``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.metrics import MetricsRegistry
+from repro.trace.record import MdtRecord
+
+#: Default cap on pending records; at Singapore-fleet rates (~200
+#: records/s citywide) this is minutes of slack beyond the window.
+DEFAULT_MAX_BUFFERED = 100_000
+
+#: The canonical release order: time first, then taxi id, then the
+#: remaining fields so distinct same-instant records order stably.
+_SortKey = Tuple[float, str, float, float, float, str]
+
+
+def record_key(record: MdtRecord) -> _SortKey:
+    """The canonical total-order key of one record."""
+    return (
+        record.ts,
+        record.taxi_id,
+        record.lon,
+        record.lat,
+        record.speed,
+        record.state.value,
+    )
+
+
+class ReorderBuffer:
+    """Restore bounded-disorder record streams to canonical order.
+
+    Args:
+        window_s: the lateness bound in stream seconds; records are
+            held until the newest seen timestamp exceeds theirs by the
+            window.  ``0`` degrades to pass-through with duplicate and
+            late-record suppression only.
+        max_buffered: hard cap on pending records (memory bound); the
+            oldest pending record is force-released beyond it.
+        metrics: optional registry mirroring the buffer's accounting
+            (``ingest.*`` counters and gauges).
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        max_buffered: int = DEFAULT_MAX_BUFFERED,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if window_s < 0:
+            raise ValueError("disorder window must be non-negative")
+        if max_buffered < 1:
+            raise ValueError("max_buffered must hold at least one record")
+        self.window_s = float(window_s)
+        self.max_buffered = int(max_buffered)
+        self._heap: List[Tuple[_SortKey, MdtRecord]] = []
+        self._seen: Dict[_SortKey, None] = {}
+        self._high_ts = float("-inf")
+        self._released_through = float("-inf")
+        self.records_in = 0
+        self.released = 0
+        self.duplicates = 0
+        self.late_dropped = 0
+        self.forced_releases = 0
+        self._metrics = metrics
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def feed(self, record: MdtRecord) -> List[MdtRecord]:
+        """Absorb one record; return the records it releases, in order."""
+        self.records_in += 1
+        key = record_key(record)
+        if key in self._seen:
+            self.duplicates += 1
+            self._count("ingest.duplicates")
+            self._update_gauges()
+            return []
+        if record.ts < self._released_through:
+            self.late_dropped += 1
+            self._count("ingest.late_dropped")
+            self._update_gauges()
+            return []
+        self._seen[key] = None
+        heapq.heappush(self._heap, (key, record))
+        if record.ts > self._high_ts:
+            self._high_ts = record.ts
+        released = self._drain(self._high_ts - self.window_s)
+        while len(self._heap) > self.max_buffered:
+            # The feed broke its lateness bound at scale; shed the
+            # oldest pending record rather than grow without bound.
+            released.append(self._pop_release())
+            self.forced_releases += 1
+            self._count("ingest.forced_releases")
+        self._update_gauges()
+        return released
+
+    def flush(self) -> List[MdtRecord]:
+        """End of stream: release everything still pending, in order."""
+        released = self._drain(float("inf"))
+        self._update_gauges()
+        return released
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pop_release(self) -> MdtRecord:
+        key, record = heapq.heappop(self._heap)
+        if record.ts > self._released_through:
+            self._released_through = record.ts
+        self.released += 1
+        self._count("ingest.released")
+        return record
+
+    def _drain(self, watermark: float) -> List[MdtRecord]:
+        released: List[MdtRecord] = []
+        while self._heap and self._heap[0][0][0] <= watermark:
+            released.append(self._pop_release())
+        if watermark > self._released_through and watermark != float("inf"):
+            self._released_through = watermark
+        # Forget keys that can no longer collide: anything older than
+        # the released horizon is dropped as late before the seen-set
+        # lookup matters, so the set stays bounded by the window.
+        if released or watermark == float("inf"):
+            self._seen = {
+                key: None
+                for key in self._seen
+                if key[0] >= self._released_through
+            }
+        return released
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _update_gauges(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("ingest.buffered").set(len(self._heap))
+            if self._high_ts != float("-inf"):
+                self._metrics.gauge("ingest.watermark").set(
+                    self._high_ts - self.window_s
+                )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """How many records are currently held back."""
+        return len(self._heap)
+
+    @property
+    def watermark(self) -> float:
+        """The release frontier (newest timestamp minus the window)."""
+        return self._high_ts - self.window_s
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable state for checkpoint/restore (see
+        :mod:`repro.resilience.checkpoint`)."""
+        return {
+            "window_s": self.window_s,
+            "buffered": [record for _, record in sorted(self._heap)],
+            "seen": list(self._seen),
+            "high_ts": self._high_ts,
+            "released_through": self._released_through,
+            "counts": (
+                self.records_in,
+                self.released,
+                self.duplicates,
+                self.late_dropped,
+                self.forced_releases,
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state exported by :meth:`export_state`."""
+        self._heap = [
+            (record_key(record), record) for record in state["buffered"]
+        ]
+        heapq.heapify(self._heap)
+        self._seen = {tuple(key): None for key in state["seen"]}
+        self._high_ts = state["high_ts"]
+        self._released_through = state["released_through"]
+        (
+            self.records_in,
+            self.released,
+            self.duplicates,
+            self.late_dropped,
+            self.forced_releases,
+        ) = state["counts"]
+        self._update_gauges()

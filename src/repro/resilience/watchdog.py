@@ -1,0 +1,125 @@
+"""Freshness watchdog for the live serving layer.
+
+When the ingest path stalls or crashes, the HTTP layer keeps serving
+the last-good snapshot (see :class:`~repro.service.http.
+QueueStateServer`) — silently.  :class:`ServiceWatchdog` makes the
+degradation *observable*: a small daemon thread tracks how long the
+:class:`~repro.service.snapshot.SnapshotStore` version has been
+standing still and maintains two gauges in the shared metrics registry:
+
+* ``watchdog.staleness_seconds`` — wall seconds since the snapshot
+  last advanced (0 right after an update);
+* ``watchdog.stale`` — 1 once staleness exceeds ``stale_after_s``,
+  back to 0 as soon as ingest recovers.
+
+Operators alert on ``watchdog.stale``; the chaos tests assert the
+gauge rises under injected stalls/crashes and clears on recovery.
+An expected quiet period (a replay that finished, an overnight lull)
+can be acknowledged with :meth:`expect_idle`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.snapshot import SnapshotStore
+
+
+class ServiceWatchdog:
+    """Track snapshot freshness in the background.
+
+    Args:
+        store: the snapshot store whose version is the heartbeat.
+        metrics: registry receiving the ``watchdog.*`` gauges.
+        stale_after_s: staleness threshold for the binary flag.
+        interval_s: polling cadence of the watchdog thread.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        metrics: Optional[MetricsRegistry] = None,
+        stale_after_s: float = 30.0,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if stale_after_s <= 0:
+            raise ValueError("stale_after_s must be positive")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stale_after_s = float(stale_after_s)
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self._last_version = store.version
+        self._last_change = clock()
+        self._idle = False
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.check()
+
+    # -- the check ---------------------------------------------------------------
+
+    def check(self) -> float:
+        """One freshness probe; returns the current staleness seconds."""
+        now = self._clock()
+        version = self.store.version
+        if version != self._last_version:
+            self._last_version = version
+            self._last_change = now
+            self._idle = False
+        staleness = 0.0 if self._idle else now - self._last_change
+        self.metrics.gauge("watchdog.staleness_seconds").set(staleness)
+        self.metrics.gauge("watchdog.stale").set(
+            1.0 if staleness > self.stale_after_s else 0.0
+        )
+        return staleness
+
+    @property
+    def staleness_s(self) -> float:
+        """Staleness at the last probe (probe again via :meth:`check`)."""
+        return self.check()
+
+    @property
+    def is_stale(self) -> bool:
+        return self.check() > self.stale_after_s
+
+    def expect_idle(self) -> None:
+        """Acknowledge a legitimate quiet period (replay finished).
+
+        Any version advance not yet observed by a probe (the final
+        flush of a replay, typically) is absorbed first — otherwise
+        the next probe would read it as fresh activity and clear the
+        flag it was just asked to set.
+        """
+        self._last_version = self.store.version
+        self._last_change = self._clock()
+        self._idle = True
+        self.check()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Probe in a daemon thread every ``interval_s`` (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="queue-state-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.check()

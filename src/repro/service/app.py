@@ -33,13 +33,33 @@ from repro.trace.log_store import MdtLogStore
 
 @dataclass
 class ServiceConfig:
-    """Knobs of the serving stack (not of the analytics)."""
+    """Knobs of the serving stack (not of the analytics).
+
+    The resilience knobs (see ``docs/resilience.md``):
+
+    * ``disorder_window_s`` — when positive, a
+      :class:`~repro.resilience.ReorderBuffer` with this lateness bound
+      fronts the monitor, absorbing out-of-order, duplicated and late
+      records;
+    * ``checkpoint_dir`` — when set, monitor + snapshot (+ buffer)
+      state is checkpointed atomically every
+      ``checkpoint_every_records`` consumed records, and an existing
+      checkpoint in the directory is restored on startup so the replay
+      resumes bit-identically after a kill;
+    * ``stale_after_s`` — staleness threshold of the service watchdog
+      (surfaced at ``/v1/healthz`` and ``/v1/metrics``).
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
     speedup: Optional[float] = 600.0
     cache_ttl_s: float = 1.0
     grace_s: float = 900.0
+    disorder_window_s: float = 0.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_records: int = 5000
+    stale_after_s: float = 30.0
+    watchdog_interval_s: float = 1.0
 
 
 class QueueService:
@@ -52,12 +72,19 @@ class QueueService:
         replayer: StreamReplayer,
         server: QueueStateServer,
         metrics: MetricsRegistry,
+        watchdog=None,
+        checkpointer=None,
     ):
         self.store = store
         self.monitor = monitor
         self.replayer = replayer
         self.server = server
         self.metrics = metrics
+        self.watchdog = watchdog
+        self.checkpointer = checkpointer
+        self.resumed_from: Optional[int] = None
+        """Stream position restored from a checkpoint, None on cold
+        start (set by :meth:`from_day` when a checkpoint was loaded)."""
 
     @classmethod
     def from_day(
@@ -119,8 +146,44 @@ class QueueService:
             grace_s=config.grace_s,
         )
         monitor.subscribe(lambda results: snapshot.apply(results))
+
+        reorder = None
+        if config.disorder_window_s > 0:
+            from repro.resilience import ReorderBuffer
+
+            reorder = ReorderBuffer(
+                config.disorder_window_s, metrics=metrics
+            )
+        checkpointer = None
+        resumed_from = None
+        if config.checkpoint_dir is not None:
+            from repro.resilience import CheckpointManager, ServiceCheckpointer
+
+            checkpointer = ServiceCheckpointer(
+                CheckpointManager(config.checkpoint_dir, metrics=metrics),
+                monitor,
+                snapshot,
+                reorder=reorder,
+                every_records=config.checkpoint_every_records,
+            )
+            resumed_from = checkpointer.restore_latest()
+
         replayer = StreamReplayer(
-            monitor, records, speedup=config.speedup, metrics=metrics
+            monitor,
+            records,
+            speedup=config.speedup,
+            metrics=metrics,
+            reorder=reorder,
+            checkpointer=checkpointer,
+            skip_records=resumed_from or 0,
+        )
+        from repro.resilience import ServiceWatchdog
+
+        watchdog = ServiceWatchdog(
+            snapshot,
+            metrics=metrics,
+            stale_after_s=config.stale_after_s,
+            interval_s=config.watchdog_interval_s,
         )
         server = QueueStateServer(
             snapshot,
@@ -128,18 +191,33 @@ class QueueService:
             host=config.host,
             port=config.port,
             cache_ttl_s=config.cache_ttl_s,
+            watchdog=watchdog,
         )
-        return cls(snapshot, monitor, replayer, server, metrics)
+        service = cls(
+            snapshot,
+            monitor,
+            replayer,
+            server,
+            metrics,
+            watchdog=watchdog,
+            checkpointer=checkpointer,
+        )
+        service.resumed_from = resumed_from
+        return service
 
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
         """Start serving and begin the paced replay in the background."""
         self.server.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
         self.replayer.start()
 
     def stop(self) -> None:
         self.replayer.stop()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         self.server.stop()
 
     def warm(self) -> int:

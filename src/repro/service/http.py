@@ -14,6 +14,16 @@ version; a conditional ``If-None-Match`` request is answered ``304 Not
 Modified`` until new slot results advance the version.  Serialized bodies
 are cached per endpoint with a TTL, keyed on the version, so a hot
 endpoint serves bytes without re-serializing under load.
+
+**Degraded serving.**  Read endpoints never answer 5xx: the server
+remembers the last successfully serialized body per path and, when a
+payload build raises (a fault mid-ingest, a poisoned snapshot), serves
+that last-good body with an ``X-Degraded: stale`` header instead of an
+error — the behaviour a city-facing frontend wants from a telemetry
+backend.  Degradations are counted in ``http.degraded``; pair the
+server with a :class:`~repro.resilience.ServiceWatchdog` so staleness
+is visible at ``/v1/metrics`` and ``/v1/healthz`` while the ingest
+path recovers.
 """
 
 from __future__ import annotations
@@ -130,6 +140,8 @@ class QueueStateServer:
             ``/v1/metrics``.
         host, port: bind address (port 0 picks a free port).
         cache_ttl_s: per-endpoint TTL of serialized bodies (0 disables).
+        watchdog: optional freshness watchdog; when set, its staleness
+            reading is included in the ``/v1/healthz`` payload.
     """
 
     def __init__(
@@ -139,10 +151,14 @@ class QueueStateServer:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_ttl_s: float = 1.0,
+        watchdog=None,
     ):
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = ResponseCache(cache_ttl_s)
+        self.watchdog = watchdog
+        self._last_good: Dict[str, bytes] = {}
+        self._last_good_lock = threading.Lock()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
@@ -191,7 +207,12 @@ class QueueStateServer:
         """Materialize the response for one GET (socket-free, testable)."""
         path = path.split("?", 1)[0].rstrip("/") or "/"
         with self.metrics.time("http.request_seconds"):
-            response = self._route(path, if_none_match)
+            try:
+                response = self._route(path, if_none_match)
+            except Exception:
+                # Reads must never 5xx; fall back to the freshest body
+                # this path ever served (see "Degraded serving" above).
+                response = self._degraded_response(path)
         route = self._route_name(path)
         self.metrics.counter(f"http.requests.{route}").inc()
         self.metrics.counter(f"http.responses.{response.status}").inc()
@@ -250,17 +271,37 @@ class QueueStateServer:
             self.metrics.counter("http.cache_hits").inc()
             return Response(200, body, etag=etag)
         self.metrics.counter("http.cache_misses").inc()
-        payload = payload_fn()
-        if payload is None:
-            return Response(404, _json_body({"error": "unknown spot id"}))
-        body = _json_body(payload)
+        try:
+            payload = payload_fn()
+            if payload is None:
+                return Response(404, _json_body({"error": "unknown spot id"}))
+            body = _json_body(payload)
+        except Exception:
+            return self._degraded_response(path)
         self.cache.put(path, version, body)
+        with self._last_good_lock:
+            self._last_good[path] = body
         return Response(200, body, etag=etag)
 
+    def _degraded_response(self, path: str) -> Response:
+        """Serve the last-good body for ``path`` (or an explicit empty
+        degraded payload) instead of a 5xx."""
+        self.metrics.counter("http.degraded").inc()
+        with self._last_good_lock:
+            body = self._last_good.get(path)
+        if body is None:
+            body = _json_body({"snapshot": 0, "degraded": True})
+        return Response(200, body, headers={"X-Degraded": "stale"})
+
     def _health_payload(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "snapshot": self.store.version,
             "spots": len(self.store.spot_ids),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
+        if self.watchdog is not None:
+            staleness = self.watchdog.check()
+            payload["staleness_s"] = round(staleness, 3)
+            payload["stale"] = staleness > self.watchdog.stale_after_s
+        return payload

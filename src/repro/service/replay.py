@@ -2,10 +2,32 @@
 
 The live system consumes an operator feed in real time; offline we have
 a recorded (or simulated) day.  :class:`StreamReplayer` bridges the two:
-it feeds time-ordered records into a
-:class:`~repro.stream.StreamingQueueMonitor`, pacing wall-clock sleeps
-so one stream-second takes ``1/speedup`` real seconds.  With
-``speedup=None`` the replay runs flat out (warm-up, benchmarks, tests).
+it feeds records into a :class:`~repro.stream.StreamingQueueMonitor`,
+pacing wall-clock sleeps so one stream-second takes ``1/speedup`` real
+seconds.  With ``speedup=None`` the replay runs flat out (warm-up,
+benchmarks, tests).
+
+**Ordering contract.**  Pacing and the monitor's slot clock assume a
+monotonically non-decreasing timestamp sequence.  A list input is
+sorted up front (as before); a *live* iterator cannot be sorted, so a
+disordered feed must be fronted by a
+:class:`~repro.resilience.ReorderBuffer` (the ``reorder`` argument):
+raw records then pass through the buffer and the monitor — and the
+pacer — only ever see the buffer's ordered releases.  Without a buffer,
+an out-of-order record is fed as-is but the pacing clock refuses to
+move backwards (otherwise one stale timestamp would first burst, then
+over-sleep the gap back to the present — the silent mis-pacing this
+contract exists to prevent) and the ``replay.nonmonotonic_records``
+counter records the violation.
+
+**Durability.**  A :class:`~repro.resilience.ServiceCheckpointer` can
+be attached; the replayer calls it at record boundaries and, after a
+restore, fast-forwards ``skip_records`` source records so the resumed
+run continues bit-identically.  An exception escaping the feed loop
+(e.g. an injected crash from :class:`~repro.resilience.ChaosStream`)
+is captured in :attr:`error` and counted in ``replay.crashes`` instead
+of killing the thread silently; the serving layer keeps answering from
+the last-good snapshot.
 
 The monitor's subscribers (the snapshot store) receive finalized slots
 as a side effect of ``feed``; the replayer itself only paces, counts and
@@ -15,12 +37,15 @@ exposes progress through the metrics registry.
 from __future__ import annotations
 
 import threading
-import time
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.service.metrics import MetricsRegistry
 from repro.stream.monitor import StreamingQueueMonitor
 from repro.trace.record import MdtRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.checkpoint import ServiceCheckpointer
+    from repro.resilience.reorder import ReorderBuffer
 
 #: Never sleep longer than this per gap, whatever the speedup — a dead
 #: stretch in the feed should not freeze the serving layer's progress
@@ -33,32 +58,57 @@ class StreamReplayer:
 
     Args:
         monitor: the streaming monitor to feed (subscribers attached).
-        records: the day's records; sorted by timestamp internally.
+        records: the day's records.  A sequence is sorted by timestamp
+            internally; any other iterable is consumed lazily and must
+            either be time-ordered or fronted by ``reorder``.
         speedup: stream-seconds per wall-second (e.g. 600 replays a day
             in ~2.4 minutes); None disables pacing entirely.
         metrics: optional registry; maintains ``replay.records`` /
-            ``replay.slots_finalized`` counters and the
+            ``replay.slots_finalized`` / ``replay.nonmonotonic_records``
+            / ``replay.crashes`` counters and the
             ``replay.stream_clock`` gauge.
+        reorder: optional disorder-tolerant ingest buffer; raw records
+            pass through it and only its ordered releases reach the
+            monitor and the pacer.
+        checkpointer: optional service checkpointer, invoked at record
+            boundaries (see its ``every_records`` cadence).
+        skip_records: source records to fast-forward without feeding,
+            used to resume from a restored checkpoint.
     """
 
     def __init__(
         self,
         monitor: StreamingQueueMonitor,
-        records: Sequence[MdtRecord],
+        records: Iterable[MdtRecord],
         speedup: Optional[float] = 600.0,
         metrics: Optional[MetricsRegistry] = None,
+        reorder: Optional["ReorderBuffer"] = None,
+        checkpointer: Optional["ServiceCheckpointer"] = None,
+        skip_records: int = 0,
     ):
         if speedup is not None and speedup <= 0:
             raise ValueError("speedup must be positive (or None)")
+        if skip_records < 0:
+            raise ValueError("skip_records must be non-negative")
         self.monitor = monitor
-        self.records = sorted(records, key=lambda r: r.ts)
+        if isinstance(records, Sequence):
+            self.records: Iterable[MdtRecord] = sorted(
+                records, key=lambda r: r.ts
+            )
+        else:
+            self.records = records
         self.speedup = speedup
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.reorder = reorder
+        self.checkpointer = checkpointer
+        self.skip_records = int(skip_records)
+        self.error: Optional[BaseException] = None
+        """The exception that aborted the last :meth:`run`, if any."""
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.finished = threading.Event()
         """Set once the full stream was replayed and finalized; stays
-        unset when the replay is stopped early."""
+        unset when the replay is stopped early or crashed."""
 
     # -- synchronous core --------------------------------------------------------
 
@@ -72,28 +122,57 @@ class StreamReplayer:
         finalized = 0
         records_counter = self.metrics.counter("replay.records")
         slots_counter = self.metrics.counter("replay.slots_finalized")
+        nonmono_counter = self.metrics.counter("replay.nonmonotonic_records")
         clock_gauge = self.metrics.gauge("replay.stream_clock")
-        previous_ts: Optional[float] = None
-        for record in self.records:
-            if self._stop.is_set():
-                break
-            if self.speedup is not None and previous_ts is not None:
-                gap = (record.ts - previous_ts) / self.speedup
-                if gap > 1e-3:
-                    self._stop.wait(min(gap, MAX_SLEEP_S))
-            previous_ts = record.ts
-            closed = len(self.monitor.feed(record))
-            if closed:
-                slots_counter.inc(closed)
-            finalized += closed
-            records_counter.inc()
-            clock_gauge.set(record.ts)
-        if not self._stop.is_set():
-            closed = len(self.monitor.finish())
-            if closed:
-                slots_counter.inc(closed)
-            finalized += closed
-            self.finished.set()
+        pacing_clock: Optional[float] = None
+        position = 0
+        try:
+            for record in self.records:
+                if self._stop.is_set():
+                    break
+                position += 1
+                if position <= self.skip_records:
+                    continue
+                if self.reorder is not None:
+                    batch = self.reorder.feed(record)
+                else:
+                    batch = [record]
+                for release in batch:
+                    if self.speedup is not None and pacing_clock is not None:
+                        gap = (release.ts - pacing_clock) / self.speedup
+                        if gap > 1e-3:
+                            self._stop.wait(min(gap, MAX_SLEEP_S))
+                    if pacing_clock is None or release.ts > pacing_clock:
+                        pacing_clock = release.ts
+                    elif release.ts < pacing_clock and self.reorder is None:
+                        nonmono_counter.inc()
+                    closed = len(self.monitor.feed(release))
+                    if closed:
+                        slots_counter.inc(closed)
+                    finalized += closed
+                records_counter.inc()
+                if pacing_clock is not None:
+                    clock_gauge.set(pacing_clock)
+                if self.checkpointer is not None:
+                    self.checkpointer.maybe_checkpoint(position)
+            if not self._stop.is_set():
+                if self.reorder is not None:
+                    for release in self.reorder.flush():
+                        closed = len(self.monitor.feed(release))
+                        if closed:
+                            slots_counter.inc(closed)
+                        finalized += closed
+                closed = len(self.monitor.finish())
+                if closed:
+                    slots_counter.inc(closed)
+                finalized += closed
+                self.finished.set()
+        except Exception as exc:
+            # A dead feed (or an injected crash) must not take the
+            # serving layer down with it: record the failure and leave
+            # the snapshot store answering with its last-good state.
+            self.error = exc
+            self.metrics.counter("replay.crashes").inc()
         return finalized
 
     # -- background operation ----------------------------------------------------

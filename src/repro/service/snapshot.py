@@ -104,6 +104,38 @@ class SnapshotStore:
                 )
             return version
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable store state (version + finalized results) for
+        checkpoint/restore; spots and grid are configuration."""
+        with self._lock:
+            return {
+                "version": self._version,
+                "results": {
+                    spot_id: dict(bucket)
+                    for spot_id, bucket in self._results.items()
+                },
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state exported by :meth:`export_state`.
+
+        Results of spot ids unknown to this store are dropped, matching
+        the :meth:`apply` contract.
+        """
+        with self._lock:
+            self._results = {spot_id: {} for spot_id in self._spots}
+            for spot_id, bucket in state["results"].items():
+                if spot_id in self._results:
+                    self._results[spot_id] = dict(bucket)
+            self._version = state["version"]
+            if self._metrics is not None:
+                self._metrics.gauge("snapshot.version").set(self._version)
+                self._metrics.gauge("snapshot.slots_held").set(
+                    sum(len(b) for b in self._results.values())
+                )
+
     # -- identity ----------------------------------------------------------------
 
     @property

@@ -124,6 +124,42 @@ class StreamingQueueMonitor:
         self._publish(results)
         return results
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable monitor state (PEA scan state, bucketed wait
+        events, finalization progress) for checkpoint/restore.
+
+        Subscribers, spots, thresholds and the grid are *configuration*
+        — they are rebuilt from the bootstrap on restart — so only the
+        accumulated stream state is exported.
+        """
+        return {
+            "pea": self._pea.export_state(),
+            "events": {
+                spot_id: {slot: list(waits) for slot, waits in buckets.items()}
+                for spot_id, buckets in self._events.items()
+            },
+            "finalized_through": self._finalized_through,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state exported by :meth:`export_state`.
+
+        The monitor must be configured with the same spots, thresholds,
+        grid and grace period as the exporting one; events of spots
+        unknown to this monitor are dropped (a changed spot set cannot
+        be resumed into).
+        """
+        self._pea.restore_state(state["pea"])
+        self._events = {spot.spot_id: {} for spot in self.spots}
+        for spot_id, buckets in state["events"].items():
+            if spot_id in self._events:
+                self._events[spot_id] = {
+                    slot: list(waits) for slot, waits in buckets.items()
+                }
+        self._finalized_through = state["finalized_through"]
+
     # -- internals ----------------------------------------------------------------
 
     def _absorb(self, pickup) -> None:

@@ -136,6 +136,27 @@ class StreamingPea:
             state.candidate = None
         return events
 
+    def export_state(self) -> dict:
+        """Picklable per-taxi scan state for checkpoint/restore."""
+        return {
+            taxi_id: (
+                state.phi1,
+                None if state.candidate is None else list(state.candidate),
+                state.prev,
+            )
+            for taxi_id, state in self._taxis.items()
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state exported by :meth:`export_state`."""
+        self._taxis = {}
+        for taxi_id, (phi1, candidate, prev) in state.items():
+            scan = _TaxiScanState()
+            scan.phi1 = phi1
+            scan.candidate = None if candidate is None else list(candidate)
+            scan.prev = prev
+            self._taxis[taxi_id] = scan
+
     def _finalize(
         self, taxi_id: str, records: List[MdtRecord]
     ) -> Optional[PickupEvent]:

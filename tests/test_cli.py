@@ -203,3 +203,70 @@ class TestWorkersFlag:
         err = capsys.readouterr().err
         assert "input CSV not found" in err
         assert "Traceback" not in err
+
+
+class TestResilienceFlags:
+    """--checkpoint-dir / --disorder-window / --stale-after wiring."""
+
+    def test_serve_resilience_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every == 5000
+        assert args.disorder_window == 0.0
+        assert args.stale_after == 30.0
+
+    def test_serve_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "logs.csv",
+                "--checkpoint-dir", "/tmp/ckpt",
+                "--checkpoint-every", "100",
+                "--disorder-window", "120",
+                "--stale-after", "10",
+            ]
+        )
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.checkpoint_every == 100
+        assert args.disorder_window == 120.0
+        assert args.stale_after == 10.0
+
+    def test_detect_checkpoint_dir_parses(self):
+        args = build_parser().parse_args(
+            ["detect", "logs.csv", "--checkpoint-dir", "/tmp/ckpt"]
+        )
+        assert args.checkpoint_dir == "/tmp/ckpt"
+
+    @pytest.fixture(scope="class")
+    def log_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli_ckpt") / "logs.csv"
+        code = main(
+            [
+                "simulate",
+                "--seed", "13",
+                "--fleet", "80",
+                "--spots", "5",
+                "--output", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_detect_rerun_reuses_checkpoint(
+        self, log_csv, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        argv = [
+            "detect", str(log_csv), "--coverage", "0.6",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(ckpt.glob("checkpoint-*.ckpt")), "stage checkpoint saved"
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        spot_lines = [
+            line for line in first.splitlines() if "QS" in line or "detected" in line
+        ]
+        assert spot_lines == [
+            line for line in second.splitlines() if "QS" in line or "detected" in line
+        ]

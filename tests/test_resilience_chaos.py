@@ -1,0 +1,252 @@
+"""Tests for deterministic fault injection and the disorder property.
+
+The Hypothesis property at the bottom is the tentpole guarantee of the
+resilience package: *any* seeded bounded-lateness shuffle (plus
+duplicates) of a record stream, pushed through a
+:class:`ReorderBuffer`, yields exactly the slot results of the ordered
+stream.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import AmplificationPolicy
+from repro.core.thresholds import QcdThresholds
+from repro.core.types import QueueSpot, TimeSlotGrid
+from repro.geo.point import LocalProjection
+from repro.resilience import (
+    ChaosStream,
+    FaultPlan,
+    InjectedCrash,
+    ReorderBuffer,
+    disordered_copy,
+)
+from repro.states.states import TaxiState
+from repro.stream import StreamingQueueMonitor
+from repro.trace.record import MdtRecord
+
+S = TaxiState
+LON, LAT = 103.8, 1.33
+PROJ = LocalProjection(LON, LAT)
+
+
+def pickup_stream(start_ts, n, spacing=60.0, wait=60.0, taxi_prefix="T"):
+    """n quick pickups at the spot, spaced ``spacing`` apart."""
+    records = []
+    for k in range(n):
+        t0 = start_ts + k * spacing
+        taxi = f"{taxi_prefix}{k:03d}"
+        records.extend(
+            [
+                MdtRecord(t0, taxi, LON, LAT, 40.0, S.FREE),
+                MdtRecord(t0 + 1, taxi, LON, LAT, 5.0, S.FREE),
+                MdtRecord(t0 + 1 + wait, taxi, LON, LAT, 5.0, S.POB),
+                MdtRecord(t0 + 2 + wait, taxi, LON, LAT, 40.0, S.POB),
+            ]
+        )
+    records.sort(key=lambda r: r.ts)
+    return records
+
+
+def make_monitor(grid=None, grace_s=900.0):
+    return StreamingQueueMonitor(
+        spots=[QueueSpot("QS001", LON, LAT, "Central", 100, 5.0)],
+        thresholds={
+            "QS001": QcdThresholds(
+                eta_wait=120.0, eta_dep=90.0, tau_arr=15.0, tau_dep=20.0,
+                eta_dur=1620.0, tau_ratio=0.84,
+            )
+        },
+        grid=grid if grid is not None else TimeSlotGrid(0.0, 7200.0, 1800.0),
+        projection=PROJ,
+        amplification=AmplificationPolicy(),
+        grace_s=grace_s,
+    )
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reorder_rate": -0.1},
+            {"duplicate_rate": 1.5},
+            {"drop_rate": 2.0},
+            {"stall_rate": -1.0},
+            {"max_delay": 0},
+            {"crash_after": -1},
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestChaosStream:
+    def test_no_faults_is_identity(self):
+        records = pickup_stream(0.0, 5)
+        stream = ChaosStream(records, FaultPlan(seed=1))
+        assert list(stream) == records
+        assert stream.stats["consumed"] == len(records)
+
+    def test_same_seed_same_sequence(self):
+        records = pickup_stream(0.0, 12)
+        plan = FaultPlan(
+            seed=99, reorder_rate=0.3, duplicate_rate=0.2, drop_rate=0.1
+        )
+        first = list(ChaosStream(records, plan))
+        second_stream = ChaosStream(records, plan)
+        assert list(second_stream) == first
+        # Stats are reproducible too.
+        third = ChaosStream(records, plan)
+        list(third)
+        assert third.stats == second_stream.stats
+
+    def test_different_seed_differs(self):
+        records = pickup_stream(0.0, 12)
+        out = {
+            tuple(
+                ChaosStream(
+                    records, FaultPlan(seed=seed, reorder_rate=0.5)
+                )
+            )
+            for seed in range(5)
+        }
+        assert len(out) > 1
+
+    def test_drop_everything(self):
+        records = pickup_stream(0.0, 4)
+        stream = ChaosStream(records, FaultPlan(seed=0, drop_rate=1.0))
+        assert list(stream) == []
+        assert stream.stats["dropped"] == len(records)
+
+    def test_duplicate_everything(self):
+        records = pickup_stream(0.0, 3)
+        stream = ChaosStream(records, FaultPlan(seed=0, duplicate_rate=1.0))
+        emitted = list(stream)
+        assert len(emitted) == 2 * len(records)
+        assert emitted[0] == emitted[1]
+        assert stream.stats["duplicated"] == len(records)
+
+    def test_reorder_is_a_permutation(self):
+        records = pickup_stream(0.0, 10)
+        stream = ChaosStream(
+            records, FaultPlan(seed=5, reorder_rate=0.4, max_delay=6)
+        )
+        emitted = list(stream)
+        assert sorted(emitted, key=lambda r: (r.ts, r.taxi_id)) == records
+        assert emitted != records
+        assert stream.stats["reordered"] > 0
+
+    def test_crash_after_exact_count(self):
+        records = pickup_stream(0.0, 10)
+        stream = ChaosStream(records, FaultPlan(seed=0, crash_after=7))
+        consumed = []
+        with pytest.raises(InjectedCrash):
+            for record in stream:
+                consumed.append(record)
+        assert stream.stats["consumed"] == 7
+        assert stream.stats["crashed"] == 1
+        assert consumed == records[:7]
+
+    def test_stall_uses_injected_sleep(self):
+        naps = []
+        records = pickup_stream(0.0, 4)
+        stream = ChaosStream(
+            records,
+            FaultPlan(seed=0, stall_rate=1.0, stall_s=0.5),
+            sleep_fn=naps.append,
+        )
+        assert list(stream) == records
+        assert naps == [0.5] * len(records)
+        assert stream.stats["stalled"] == len(records)
+
+
+class TestDisorderedCopy:
+    def test_stays_within_lateness_bound(self):
+        records = pickup_stream(0.0, 20)
+        for seed in range(5):
+            shuffled = disordered_copy(records, seed=seed, window_s=90.0)
+            assert sorted(shuffled, key=lambda r: (r.ts, r.taxi_id)) == records
+            high = float("-inf")
+            for record in shuffled:
+                # No record arrives after anything > window newer.
+                assert record.ts > high - 90.0
+                high = max(high, record.ts)
+
+    def test_duplicates_are_extra_copies(self):
+        records = pickup_stream(0.0, 10)
+        shuffled = disordered_copy(
+            records, seed=1, window_s=60.0, duplicate_rate=1.0
+        )
+        assert len(shuffled) == 2 * len(records)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            disordered_copy([], seed=0, window_s=-1.0)
+
+
+class TestDisorderEquivalence:
+    """The tentpole property: bounded disorder + duplicates are invisible
+    behind a ReorderBuffer."""
+
+    @given(
+        n=st.integers(min_value=0, max_value=14),
+        seed=st.integers(min_value=0, max_value=2**20),
+        window=st.sampled_from([30.0, 90.0, 300.0]),
+        duplicate_rate=st.sampled_from([0.0, 0.3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shuffled_stream_yields_identical_slots(
+        self, n, seed, window, duplicate_rate
+    ):
+        records = pickup_stream(0.0, n)
+        ordered_monitor = make_monitor()
+        expected = []
+        for record in records:
+            expected.extend(ordered_monitor.feed(record))
+        expected.extend(ordered_monitor.finish())
+
+        shuffled = disordered_copy(
+            records, seed=seed, window_s=window, duplicate_rate=duplicate_rate
+        )
+        buffer = ReorderBuffer(window_s=window)
+        monitor = make_monitor()
+        actual = []
+        for record in shuffled:
+            for release in buffer.feed(record):
+                actual.extend(monitor.feed(release))
+        for release in buffer.flush():
+            actual.extend(monitor.feed(release))
+        actual.extend(monitor.finish())
+
+        assert actual == expected
+        assert buffer.late_dropped == 0
+        expected_dups = len(shuffled) - len(records)
+        assert buffer.duplicates == expected_dups
+
+    def test_chaos_reorder_through_buffer_matches_ordered(self):
+        records = pickup_stream(0.0, 20)
+        ordered_monitor = make_monitor()
+        expected = []
+        for record in records:
+            expected.extend(ordered_monitor.feed(record))
+        expected.extend(ordered_monitor.finish())
+
+        plan = FaultPlan(
+            seed=17, reorder_rate=0.4, max_delay=6, duplicate_rate=0.3
+        )
+        # Displacement by <= max_delay positions is bounded lateness:
+        # positions are at most `spacing` seconds apart, so a generous
+        # window covers any max_delay-position displacement.
+        buffer = ReorderBuffer(window_s=6 * 60.0 + 120.0)
+        monitor = make_monitor()
+        actual = []
+        for record in ChaosStream(records, plan):
+            for release in buffer.feed(record):
+                actual.extend(monitor.feed(release))
+        for release in buffer.flush():
+            actual.extend(monitor.feed(release))
+        actual.extend(monitor.finish())
+        assert actual == expected
+        assert buffer.late_dropped == 0

@@ -1,0 +1,182 @@
+"""Tests for the disorder-tolerant ingest buffer."""
+
+import random
+
+import pytest
+
+from repro.resilience import ReorderBuffer, record_key
+from repro.service.metrics import MetricsRegistry
+from repro.states.states import TaxiState
+from repro.trace.record import MdtRecord
+
+S = TaxiState
+LON, LAT = 103.8, 1.33
+
+
+def rec(ts, taxi="A", speed=40.0, state=S.FREE, lon=LON, lat=LAT):
+    return MdtRecord(float(ts), taxi, lon, lat, speed, state)
+
+
+def feed_all(buffer, records):
+    released = []
+    for record in records:
+        released.extend(buffer.feed(record))
+    released.extend(buffer.flush())
+    return released
+
+
+class TestOrdering:
+    def test_in_order_stream_passes_through_in_order(self):
+        buffer = ReorderBuffer(window_s=60.0)
+        records = [rec(30.0 * i, taxi=f"T{i}") for i in range(20)]
+        assert feed_all(buffer, records) == records
+        assert buffer.late_dropped == 0
+        assert buffer.duplicates == 0
+
+    def test_bounded_shuffle_restores_canonical_order(self):
+        records = [rec(10.0 * i, taxi=f"T{i:02d}") for i in range(50)]
+        shuffled = list(records)
+        rng = random.Random(7)
+        # Swap neighbours within the lateness bound only.
+        for _ in range(200):
+            i = rng.randrange(len(shuffled) - 1)
+            a, b = shuffled[i], shuffled[i + 1]
+            if abs(a.ts - b.ts) <= 30.0:
+                shuffled[i], shuffled[i + 1] = b, a
+        buffer = ReorderBuffer(window_s=30.0)
+        assert feed_all(buffer, shuffled) == records
+        assert buffer.late_dropped == 0
+
+    def test_same_timestamp_orders_by_taxi_then_fields(self):
+        a = rec(100.0, taxi="A")
+        b = rec(100.0, taxi="B")
+        c = rec(100.0, taxi="B", speed=5.0)
+        buffer = ReorderBuffer(window_s=10.0)
+        released = feed_all(buffer, [c, b, a])
+        assert released == sorted([a, b, c], key=record_key)
+
+    def test_records_held_until_watermark_passes(self):
+        buffer = ReorderBuffer(window_s=60.0)
+        assert buffer.feed(rec(0.0)) == []
+        assert buffer.pending == 1
+        assert buffer.feed(rec(30.0, taxi="B")) == []
+        # 0.0 <= 70 - 60, so the first record is released.
+        released = buffer.feed(rec(70.0, taxi="C"))
+        assert [r.ts for r in released] == [0.0]
+        assert buffer.watermark == pytest.approx(10.0)
+
+    def test_zero_window_is_passthrough(self):
+        buffer = ReorderBuffer(window_s=0.0)
+        assert buffer.feed(rec(5.0)) == [rec(5.0)]
+        assert buffer.pending == 0
+
+
+class TestFaultAccounting:
+    def test_duplicates_are_dropped_and_counted(self):
+        buffer = ReorderBuffer(window_s=60.0)
+        record = rec(10.0)
+        buffer.feed(record)
+        assert buffer.feed(record) == []
+        assert buffer.duplicates == 1
+        assert feed_all(buffer, []) == [record]
+
+    def test_late_record_is_dropped_and_counted(self):
+        buffer = ReorderBuffer(window_s=10.0)
+        buffer.feed(rec(100.0))
+        buffer.feed(rec(200.0, taxi="B"))  # watermark now 190
+        assert buffer.feed(rec(50.0, taxi="C")) == []
+        assert buffer.late_dropped == 1
+        # The late record never surfaces, even at flush.
+        assert all(r.ts != 50.0 for r in buffer.flush())
+
+    def test_overflow_forces_oldest_release(self):
+        buffer = ReorderBuffer(window_s=1e9, max_buffered=3)
+        released = []
+        for i in range(5):
+            released.extend(buffer.feed(rec(float(i), taxi=f"T{i}")))
+        assert [r.ts for r in released] == [0.0, 1.0]
+        assert buffer.forced_releases == 2
+        assert buffer.pending == 3
+
+    def test_flush_releases_everything_in_order(self):
+        buffer = ReorderBuffer(window_s=1e9)
+        buffer.feed(rec(30.0))
+        buffer.feed(rec(10.0, taxi="B"))
+        buffer.feed(rec(20.0, taxi="C"))
+        assert [r.ts for r in buffer.flush()] == [10.0, 20.0, 30.0]
+        assert buffer.pending == 0
+
+    def test_counts_are_totals(self):
+        buffer = ReorderBuffer(window_s=10.0)
+        record = rec(100.0)
+        buffer.feed(record)
+        buffer.feed(record)
+        buffer.feed(rec(200.0, taxi="B"))
+        buffer.feed(rec(10.0, taxi="C"))
+        buffer.flush()
+        assert buffer.records_in == 4
+        assert buffer.released == 2
+        assert buffer.duplicates == 1
+        assert buffer.late_dropped == 1
+
+
+class TestMetricsMirroring:
+    def test_counters_and_gauges_surface(self):
+        metrics = MetricsRegistry()
+        buffer = ReorderBuffer(window_s=10.0, metrics=metrics)
+        record = rec(100.0)
+        buffer.feed(record)
+        buffer.feed(record)
+        buffer.feed(rec(200.0, taxi="B"))
+        buffer.feed(rec(10.0, taxi="C"))
+        snap = metrics.snapshot()
+        assert snap["counters"]["ingest.duplicates"] == 1
+        assert snap["counters"]["ingest.late_dropped"] == 1
+        assert snap["counters"]["ingest.released"] == 1
+        assert snap["gauges"]["ingest.buffered"] == buffer.pending
+        assert snap["gauges"]["ingest.watermark"] == pytest.approx(190.0)
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(window_s=-1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(window_s=1.0, max_buffered=0)
+
+
+class TestCheckpointing:
+    def test_export_restore_mid_stream_is_equivalent(self):
+        records = [rec(7.0 * i, taxi=f"T{i % 5}") for i in range(40)]
+        rng = random.Random(3)
+        arrivals = sorted(records, key=lambda r: r.ts + rng.uniform(0, 20.0))
+        reference = ReorderBuffer(window_s=20.0)
+        resumed = ReorderBuffer(window_s=20.0)
+        out_ref, out_res = [], []
+        for i, record in enumerate(arrivals):
+            out_ref.extend(reference.feed(record))
+            if i == len(arrivals) // 2:
+                # Checkpoint the reference and continue in a fresh buffer.
+                state = reference.export_state()
+                fresh = ReorderBuffer(window_s=20.0)
+                fresh.restore_state(state)
+                out_res = list(out_ref)
+                resumed = fresh
+            if i > len(arrivals) // 2:
+                out_res.extend(resumed.feed(record))
+        out_ref.extend(reference.flush())
+        out_res.extend(resumed.flush())
+        assert out_res == out_ref
+        assert resumed.released == reference.released
+        assert resumed.records_in == reference.records_in
+
+    def test_restored_buffer_still_rejects_duplicates(self):
+        buffer = ReorderBuffer(window_s=100.0)
+        record = rec(10.0)
+        buffer.feed(record)
+        fresh = ReorderBuffer(window_s=100.0)
+        fresh.restore_state(buffer.export_state())
+        assert fresh.feed(record) == []
+        assert fresh.duplicates == 1

@@ -289,3 +289,105 @@ class TestStreamReplayer:
         assert not replayer.finished.is_set()
         # Stopping twice is harmless.
         replayer.stop()
+
+
+class TestReplayerDisorder:
+    """The replayer's ordering contract (see service/replay.py)."""
+
+    def _monitor(self):
+        grid = TimeSlotGrid(0.0, 3600.0, 1800.0)
+        monitor = StreamingQueueMonitor(
+            spots=[make_spot()],
+            thresholds={
+                "QS001": QcdThresholds(
+                    eta_wait=120.0, eta_dep=90.0, tau_arr=15.0,
+                    tau_dep=20.0, eta_dur=1620.0, tau_ratio=0.84,
+                )
+            },
+            grid=grid,
+            projection=LocalProjection(LON, LAT),
+            amplification=AmplificationPolicy(),
+        )
+        return monitor
+
+    def _records(self):
+        from repro.states.states import TaxiState
+        from repro.trace.record import MdtRecord
+
+        return [
+            MdtRecord(ts, "A", LON, LAT, 40.0, TaxiState.FREE)
+            for ts in (0.0, 60.0, 30.0, 120.0)
+        ]
+
+    def test_unordered_iterator_counts_nonmonotonic(self):
+        metrics = MetricsRegistry()
+        monitor = self._monitor()
+        replayer = StreamReplayer(
+            monitor, iter(self._records()), speedup=None, metrics=metrics
+        )
+        replayer.run()
+        snap = metrics.snapshot()
+        assert snap["counters"]["replay.nonmonotonic_records"] == 1
+        # The pacing clock never moves backwards.
+        assert snap["gauges"]["replay.stream_clock"] == 120.0
+
+    def test_sequence_input_is_sorted_up_front(self):
+        metrics = MetricsRegistry()
+        monitor = self._monitor()
+        replayer = StreamReplayer(
+            monitor, self._records(), speedup=None, metrics=metrics
+        )
+        replayer.run()
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("replay.nonmonotonic_records", 0) == 0
+
+    def test_reorder_buffer_absorbs_disorder(self):
+        from repro.resilience import ReorderBuffer
+
+        metrics = MetricsRegistry()
+        monitor = self._monitor()
+        replayer = StreamReplayer(
+            monitor,
+            iter(self._records()),
+            speedup=None,
+            metrics=metrics,
+            reorder=ReorderBuffer(window_s=60.0),
+        )
+        replayer.run()
+        assert replayer.finished.is_set()
+        # The monitor only saw ordered releases; no violation counted.
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("replay.nonmonotonic_records", 0) == 0
+
+    def test_feed_crash_is_captured_not_raised(self):
+        metrics = MetricsRegistry()
+        monitor = self._monitor()
+
+        def exploding():
+            yield self._records()[0]
+            raise RuntimeError("dead feed")
+
+        replayer = StreamReplayer(
+            monitor, exploding(), speedup=None, metrics=metrics
+        )
+        replayer.run()
+        assert isinstance(replayer.error, RuntimeError)
+        assert not replayer.finished.is_set()
+        assert metrics.snapshot()["counters"]["replay.crashes"] == 1
+
+    def test_skip_records_fast_forwards(self):
+        metrics = MetricsRegistry()
+        monitor = self._monitor()
+        replayer = StreamReplayer(
+            monitor,
+            self._records(),
+            speedup=None,
+            metrics=metrics,
+            skip_records=2,
+        )
+        replayer.run()
+        assert metrics.snapshot()["counters"]["replay.records"] == 2.0
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError):
+            StreamReplayer(self._monitor(), [], skip_records=-1)
