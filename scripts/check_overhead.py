@@ -1,0 +1,84 @@
+"""Enforce the tracing overhead budget on the golden-day fixture.
+
+CI gate: runs the full batch pipeline (ingest -> clean -> PEA -> DBSCAN
+-> tier 2) over ``tests/data/golden_day.csv`` with tracing off and on,
+takes the median of N runs each, and fails when the traced median
+exceeds ``untraced * (1 + budget) + epsilon``::
+
+    PYTHONPATH=src:. python scripts/check_overhead.py
+    PYTHONPATH=src:. python scripts/check_overhead.py --runs 5 --budget 0.05
+
+The absolute epsilon exists because the golden day completes in tens of
+milliseconds, where one scheduler preemption dwarfs any honest 5%
+budget; raise ``--runs`` rather than the epsilon when the gate flakes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.export import InMemorySink  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.trace.log_store import MdtLogStore  # noqa: E402
+from tests._golden import golden_engine, pipeline_snapshot  # noqa: E402
+
+CSV_PATH = REPO_ROOT / "tests" / "data" / "golden_day.csv"
+
+
+def run_once(store, traced: bool) -> float:
+    engine = golden_engine(store)
+    if traced:
+        engine.tracer = Tracer(InMemorySink())
+    start = time.perf_counter()
+    pipeline_snapshot(engine, store)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=3,
+                        help="runs per variant, median taken (default 3)")
+    parser.add_argument("--budget", type=float, default=0.05,
+                        help="relative overhead budget (default 0.05 = 5%%)")
+    parser.add_argument("--epsilon-s", type=float, default=0.02,
+                        help="absolute scheduler-noise grace (default 0.02)")
+    args = parser.parse_args()
+
+    store = MdtLogStore.from_csv(CSV_PATH, on_error="raise")
+    # Warm both paths before measuring (imports, numpy caches).
+    run_once(store, traced=False)
+    run_once(store, traced=True)
+
+    base = statistics.median(
+        run_once(store, traced=False) for _ in range(args.runs)
+    )
+    traced = statistics.median(
+        run_once(store, traced=True) for _ in range(args.runs)
+    )
+    limit = base * (1.0 + args.budget) + args.epsilon_s
+    overhead = (traced - base) / base if base else float("inf")
+    print(
+        f"untraced median: {base * 1e3:8.2f} ms  "
+        f"({args.runs} runs)\n"
+        f"traced median:   {traced * 1e3:8.2f} ms  "
+        f"({overhead:+.1%} overhead)\n"
+        f"budget:          {limit * 1e3:8.2f} ms  "
+        f"({args.budget:.0%} + {args.epsilon_s * 1e3:.0f} ms grace)"
+    )
+    if traced > limit:
+        print("FAIL: tracing overhead over budget", file=sys.stderr)
+        return 1
+    print("OK: tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

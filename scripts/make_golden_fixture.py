@@ -9,8 +9,10 @@ day), ``tests/data/golden_expected.json`` (the exact spots, labels
 and thresholds the serial pipeline produces for it) and
 ``tests/data/golden_streaming.json`` (the exact serving state the
 streaming monitor converges to for the same day — the crash-recovery
-fixture).  Commit all three; the golden tests fail on any byte-level
-divergence from them.
+fixture) and ``tests/data/golden_prometheus.txt`` (the normalized
+Prometheus exposition after a full serve-path replay — values are
+stripped, so it pins names/labels/HELP/TYPE only).  Commit all four;
+the golden tests fail on any divergence from them.
 """
 
 from __future__ import annotations
@@ -32,7 +34,9 @@ from tests._golden import (  # noqa: E402
     GOLDEN_SEED,
     GOLDEN_SPOTS,
     golden_engine,
+    normalize_exposition,
     pipeline_snapshot,
+    prometheus_exposition,
     streaming_snapshot,
 )
 
@@ -43,6 +47,7 @@ def main() -> int:
     csv_path = data_dir / "golden_day.csv"
     json_path = data_dir / "golden_expected.json"
     streaming_path = data_dir / "golden_streaming.json"
+    prometheus_path = data_dir / "golden_prometheus.txt"
 
     output = simulate_day(
         SimulationConfig(
@@ -66,6 +71,9 @@ def main() -> int:
         json.dumps(streaming, indent=1, sort_keys=True) + "\n"
     )
 
+    exposition = prometheus_exposition(golden_engine(store), store)
+    prometheus_path.write_text(normalize_exposition(exposition))
+
     print(f"wrote {len(store)} records to {csv_path}")
     print(
         f"wrote {len(snapshot['spots'])} spots / "
@@ -74,6 +82,10 @@ def main() -> int:
     print(
         f"wrote streaming state (snapshot v{streaming['version']}, "
         f"{len(streaming['spots'])} spots) to {streaming_path}"
+    )
+    print(
+        f"wrote {len(exposition.splitlines())} exposition lines to "
+        f"{prometheus_path}"
     )
     return 0
 

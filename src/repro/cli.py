@@ -8,7 +8,15 @@ Subcommands mirror the deployed system's workflow (paper section 7.1):
 * ``export``  — tiers 1+2 plus frontend artefacts (GeoJSON, CSV, HTML);
 * ``serve``   — replay a day through the streaming monitor and serve
   live queue state over HTTP (see ``docs/service.md``);
-* ``demo``    — a quick end-to-end run on a small simulated day.
+* ``demo``    — a quick end-to-end run on a small simulated day;
+* ``metrics-dump`` — fetch a running service's metrics in Prometheus
+  text format;
+* ``trace summarize`` — per-stage latency/throughput digest of a JSONL
+  trace file (see ``docs/observability.md``).
+
+``detect``, ``analyze`` and ``serve`` accept ``--trace-out FILE`` (plus
+``--trace-sample N``) to record pipeline trace spans; an unwritable
+trace path fails fast — before any pipeline work — with exit code 2.
 """
 
 from __future__ import annotations
@@ -99,7 +107,7 @@ def _build_config(args: argparse.Namespace) -> SimulationConfig:
 
 
 def _engine_for_bbox(
-    bbox: BBox, observed_fraction: float
+    bbox: BBox, observed_fraction: float, tracer=None
 ) -> QueueAnalyticEngine:
     zones = four_zone_partition(bbox)
     lon, lat = bbox.center
@@ -108,6 +116,60 @@ def _engine_for_bbox(
         projection=LocalProjection(lon, lat),
         config=EngineConfig(observed_fraction=observed_fraction),
         city_bbox=bbox,
+        tracer=tracer,
+    )
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record pipeline trace spans to this JSONL file (see "
+        "docs/observability.md); tracing is off without it",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="keep every N-th trace (default 1: keep all); sampled "
+        "traces are always complete span trees",
+    )
+
+
+def _build_tracer(args: argparse.Namespace):
+    """``(tracer, writer)`` from ``--trace-out`` / ``--trace-sample``.
+
+    Returns the null tracer (and no writer) when tracing is off, and
+    ``(None, None)`` — after printing a clear error — when the trace
+    path cannot be opened.  The open happens *here*, before any
+    pipeline work, so a bad path can never crash a run mid-flight.
+    """
+    from repro.obs.tracer import NULL_TRACER
+
+    path = getattr(args, "trace_out", None)
+    if path is None:
+        return NULL_TRACER, None
+    if args.trace_sample < 1:
+        print("error: --trace-sample must be >= 1", file=sys.stderr)
+        return None, None
+    from repro.obs import Tracer, TraceWriter
+
+    try:
+        writer = TraceWriter(path)
+    except OSError as exc:
+        print(
+            f"error: cannot open trace output {path}: {exc}",
+            file=sys.stderr,
+        )
+        return None, None
+    return Tracer(writer, sample=args.trace_sample), writer
+
+
+def _close_tracer(writer) -> None:
+    """Close the trace writer and report what was recorded."""
+    if writer is None:
+        return
+    writer.close()
+    print(
+        f"wrote {writer.traces_written} traces "
+        f"({writer.spans_written} spans) to {writer.path}"
     )
 
 
@@ -176,18 +238,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    workers = args.workers or 1
-    if workers > 1 or args.checkpoint_dir is not None:
-        # Stage checkpoints ride on the runner even in serial mode.
-        return _detect_parallel(args, workers)
-    store = _load_store(args.input)
-    if store is None:
+    tracer, trace_writer = _build_tracer(args)
+    if tracer is None:
         return 2
-    bbox = _bbox_from_args(args, store)
-    engine = _engine_for_bbox(bbox, args.coverage)
-    detection = engine.detect_spots(store)
-    _print_detection(detection, args.top)
-    return 0
+    try:
+        workers = args.workers or 1
+        if workers > 1 or args.checkpoint_dir is not None:
+            # Stage checkpoints ride on the runner even in serial mode.
+            return _detect_parallel(args, workers, tracer)
+        with tracer.trace("pipeline.batch", command="detect"):
+            with tracer.span("stage.ingest", mode="csv") as span:
+                store = _load_store(args.input)
+                if store is None:
+                    return 2
+                span.set(records=len(store))
+            bbox = _bbox_from_args(args, store)
+            engine = _engine_for_bbox(bbox, args.coverage, tracer=tracer)
+            detection = engine.detect_spots(store)
+            with tracer.span("stage.publish", mode="stdout") as span:
+                _print_detection(detection, args.top)
+                span.set(spots=len(detection.spots))
+        return 0
+    finally:
+        _close_tracer(trace_writer)
 
 
 def _print_detection(detection, top: int) -> None:
@@ -200,11 +273,16 @@ def _print_detection(detection, top: int) -> None:
         )
 
 
-def _detect_parallel(args: argparse.Namespace, workers: int) -> int:
+def _detect_parallel(
+    args: argparse.Namespace, workers: int, tracer=None
+) -> int:
     """Tier 1 with chunked CSV ingest: the full day never sits in one
     process; workers stream their own zone shard from disk."""
+    from repro.obs.tracer import NULL_TRACER
     from repro.parallel import ParallelEngineRunner, scan_csv
 
+    if tracer is None:
+        tracer = NULL_TRACER
     path = Path(args.input)
     if not path.is_file():
         print(
@@ -222,12 +300,15 @@ def _detect_parallel(args: argparse.Namespace, workers: int) -> int:
         bbox = scan.bbox.expanded(0.01)
     else:
         bbox = DEFAULT_CITY_BBOX
-    engine = _engine_for_bbox(bbox, args.coverage)
+    engine = _engine_for_bbox(bbox, args.coverage, tracer=tracer)
     runner = ParallelEngineRunner(
         engine, workers=workers, checkpointer=_stage_checkpointer(args)
     )
-    detection = runner.detect_spots_csv(path)
-    _print_detection(detection, args.top)
+    with tracer.trace("pipeline.batch", command="detect", workers=workers):
+        detection = runner.detect_spots_csv(path)
+        with tracer.span("stage.publish", mode="stdout") as span:
+            _print_detection(detection, args.top)
+            span.set(spots=len(detection.spots))
     report = runner.last_cleaning_report
     if report is not None and report.malformed_line:
         print(f"  ({report.malformed_line} malformed CSV lines skipped)")
@@ -236,14 +317,31 @@ def _detect_parallel(args: argparse.Namespace, workers: int) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    store = _load_store(args.input)
-    if store is None:
+    tracer, trace_writer = _build_tracer(args)
+    if tracer is None:
         return 2
-    bbox = _bbox_from_args(args, store)
-    engine = _wrap_workers(_engine_for_bbox(bbox, args.coverage), args)
-    detection = engine.detect_spots(store)
-    analyses = engine.disambiguate(store, detection)
-    print(format_proportions(citywide_proportions(analyses.values())))
+    try:
+        with tracer.trace("pipeline.batch", command="analyze"):
+            with tracer.span("stage.ingest", mode="csv") as span:
+                store = _load_store(args.input)
+                if store is None:
+                    return 2
+                span.set(records=len(store))
+            bbox = _bbox_from_args(args, store)
+            engine = _wrap_workers(
+                _engine_for_bbox(bbox, args.coverage, tracer=tracer), args
+            )
+            detection = engine.detect_spots(store)
+            analyses = engine.disambiguate(store, detection)
+            with tracer.span("stage.publish", mode="stdout") as span:
+                print(
+                    format_proportions(
+                        citywide_proportions(analyses.values())
+                    )
+                )
+                span.set(spots=len(analyses))
+    finally:
+        _close_tracer(trace_writer)
     _print_parallel_stats(engine)
     if args.spot:
         analysis = analyses.get(args.spot)
@@ -330,12 +428,16 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueueService, ServiceConfig
 
+    tracer, trace_writer = _build_tracer(args)
+    if tracer is None:
+        return 2
     if args.input is not None:
         store = _load_store(args.input)
         if store is None:
+            _close_tracer(trace_writer)
             return 2
         bbox = _bbox_from_args(args, store)
-        engine = _engine_for_bbox(bbox, args.coverage)
+        engine = _engine_for_bbox(bbox, args.coverage, tracer=tracer)
         grid = None
         source = args.input
     else:
@@ -350,6 +452,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             config=EngineConfig(observed_fraction=config.observed_fraction),
             city_bbox=city.bbox,
             inaccessible=city.water,
+            tracer=tracer,
         )
         grid = output.ground_truth.grid
         source = f"simulated day (seed {config.seed})"
@@ -405,6 +508,49 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         service.stop()
+        _close_tracer(trace_writer)
+    return 0
+
+
+def cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Print a running service's metrics in Prometheus text format."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = args.url.rstrip("/") + "/v1/metrics?format=prometheus"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+    except (URLError, OSError) as exc:
+        print(
+            f"error: cannot fetch {url}: {exc}\n"
+            "hint: is 'taxiqueue serve' running at that address?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Per-stage latency/throughput digest of a JSONL trace file."""
+    from repro.obs import format_summary, load_spans, summarize_spans
+
+    path = Path(args.file)
+    if not path.is_file():
+        print(f"error: trace file not found: {path}", file=sys.stderr)
+        return 2
+    try:
+        spans = load_spans(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"no spans in {path}")
+        return 0
+    traces = {span["trace_id"] for span in spans}
+    print(f"{path}: {len(spans)} spans across {len(traces)} traces")
+    print()
+    print(format_summary(summarize_spans(spans)))
     return 0
 
 
@@ -455,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for pipeline stage checkpoints; a rerun over the "
         "same input reuses completed stages (see docs/resilience.md)",
     )
+    _add_trace_args(p_det)
     p_det.set_defaults(func=cmd_detect)
 
     p_ana = sub.add_parser("analyze", help="detect spots and label queue contexts")
@@ -464,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("--spot", default=None,
                        help="print the transition report of one spot id")
     p_ana.add_argument("--workers", type=int, default=1, help=workers_help)
+    _add_trace_args(p_ana)
     p_ana.set_defaults(func=cmd_analyze)
 
     p_exp = sub.add_parser(
@@ -527,11 +675,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="watchdog staleness threshold in wall seconds (surfaced at "
         "/v1/healthz and /v1/metrics)",
     )
+    _add_trace_args(p_srv)
     p_srv.set_defaults(func=cmd_serve)
 
     p_demo = sub.add_parser("demo", help="small end-to-end demonstration")
     p_demo.add_argument("--seed", type=int, default=7)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_dump = sub.add_parser(
+        "metrics-dump",
+        help="fetch a running service's metrics in Prometheus text format",
+    )
+    p_dump.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the running service (default %(default)s)",
+    )
+    p_dump.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="HTTP timeout in seconds (default %(default)s)",
+    )
+    p_dump.set_defaults(func=cmd_metrics_dump)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect JSONL trace files (see docs/observability.md)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize",
+        help="per-stage p50/p95/max latency and throughput of a trace file",
+    )
+    p_sum.add_argument("file", help="JSONL trace file (from --trace-out)")
+    p_sum.set_defaults(func=cmd_trace_summarize)
     return parser
 
 
@@ -539,7 +713,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was piped into `head` & co; die quietly like other
+        # Unix tools instead of tracebacking.  Detach stdout so the
+        # interpreter's exit-time flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -155,6 +155,10 @@ class QueueAnalyticEngine:
         city_bbox: optional city rectangle for GPS-error cleaning.
         inaccessible: optional inaccessible rectangles (water) for
             GPS-error cleaning.
+        tracer: optional :class:`repro.obs.Tracer`; stage spans
+            (cleaning, PEA, clustering, tier 2) are recorded into it.
+            Defaults to the no-op tracer — tracing never changes
+            detection output, only observes it.
     """
 
     def __init__(
@@ -164,12 +168,16 @@ class QueueAnalyticEngine:
         config: Optional[EngineConfig] = None,
         city_bbox: Optional[BBox] = None,
         inaccessible: Optional[List[BBox]] = None,
+        tracer=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.zones = zones
         self.projection = projection
         self.config = config or EngineConfig()
         self.city_bbox = city_bbox
         self.inaccessible = list(inaccessible or [])
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.last_cleaning_report: Optional[CleaningReport] = None
 
     # -- shared -----------------------------------------------------------------
@@ -178,9 +186,11 @@ class QueueAnalyticEngine:
         """Section-6.1.1 cleaning (no-op when ``clean_inputs`` is False)."""
         if not self.config.clean_inputs:
             return store
-        cleaned, report = clean_store(
-            store, city_bbox=self.city_bbox, inaccessible=self.inaccessible
-        )
+        with self.tracer.span("stage.clean") as span:
+            cleaned, report = clean_store(
+                store, city_bbox=self.city_bbox, inaccessible=self.inaccessible
+            )
+            span.set(records=report.total_in, removed=report.total_removed)
         self.last_cleaning_report = report
         return cleaned
 
@@ -199,6 +209,7 @@ class QueueAnalyticEngine:
             zones=self.zones,
             projection=self.projection,
             params=self.config.detection,
+            tracer=self.tracer,
         )
 
     # -- tier 2 -----------------------------------------------------------------
@@ -251,16 +262,24 @@ class QueueAnalyticEngine:
         amplification = self.amplification
 
         analyses: Dict[str, SpotAnalysis] = {}
-        for spot in detection.spots:
-            analyses[spot.spot_id] = analyze_spot(
-                spot,
-                buckets[spot.spot_id],
-                grid,
-                amplification,
-                self.config.thresholds,
-                self.config.slot_seconds,
-                ratios.get(spot.zone, DEFAULT_STREET_JOB_RATIO),
-            )
+        with self.tracer.span(
+            "stage.tier2", spots=len(detection.spots)
+        ) as stage:
+            for spot in detection.spots:
+                with self.tracer.span(
+                    f"tier2.spot:{spot.spot_id}"
+                ) as span:
+                    analyses[spot.spot_id] = analyze_spot(
+                        spot,
+                        buckets[spot.spot_id],
+                        grid,
+                        amplification,
+                        self.config.thresholds,
+                        self.config.slot_seconds,
+                        ratios.get(spot.zone, DEFAULT_STREET_JOB_RATIO),
+                    )
+                    span.set(events=len(buckets[spot.spot_id]))
+            stage.set(labeled=len(analyses))
         return analyses
 
     def _zone_ratios(self, store: MdtLogStore) -> Dict[str, float]:

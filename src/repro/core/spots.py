@@ -73,6 +73,7 @@ def detect_queue_spots(
     projection: LocalProjection,
     params: SpotDetectionParams = SpotDetectionParams(),
     neighbors_factory: NeighborsFactory = GridNeighbors,
+    tracer=None,
 ) -> SpotDetectionResult:
     """Detect queue spots from a log store (the full tier-1 pipeline).
 
@@ -82,16 +83,22 @@ def detect_queue_spots(
         projection: lon/lat -> metre projection for the city.
         params: PEA/DBSCAN parameters.
         neighbors_factory: DBSCAN neighbour backend (grid index default).
+        tracer: optional :class:`repro.obs.Tracer` recording the PEA
+            and clustering stage spans (no-op by default).
 
     Returns:
         A :class:`SpotDetectionResult`; spots are ordered by descending
         pickup count and get ids ``QS001, QS002, ...``.
     """
-    events = extract_all_pickup_events(
-        store,
-        speed_threshold_kmh=params.speed_threshold_kmh,
-        apply_state_filters=params.apply_state_filters,
-    )
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER as tracer
+    with tracer.span("stage.pea") as span:
+        events = extract_all_pickup_events(
+            store,
+            speed_threshold_kmh=params.speed_threshold_kmh,
+            apply_state_filters=params.apply_state_filters,
+        )
+        span.set(records=len(store), events=len(events))
     lonlat = pickup_centroids(events)
     return detect_from_centroids(
         lonlat,
@@ -100,6 +107,7 @@ def detect_queue_spots(
         params,
         neighbors_factory=neighbors_factory,
         events=events,
+        tracer=tracer,
     )
 
 
@@ -165,12 +173,15 @@ def detect_from_centroids(
     params: SpotDetectionParams = SpotDetectionParams(),
     neighbors_factory: NeighborsFactory = GridNeighbors,
     events: Optional[List[SubTrajectory]] = None,
+    tracer=None,
 ) -> SpotDetectionResult:
     """Cluster pre-computed pickup centroids into queue spots.
 
     Split out of :func:`detect_queue_spots` so parameter sweeps (the
     Fig. 6 bench) can reuse one PEA pass across many DBSCAN settings.
     """
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER as tracer
     lonlat = np.asarray(lonlat, dtype=np.float64).reshape(-1, 2)
     raw_spots: List[Tuple[str, float, float, int, float]] = []
     noise = 0
@@ -179,18 +190,26 @@ def detect_from_centroids(
     zone_names = np.asarray(
         [zones.classify_or_nearest(lon, lat) for lon, lat in lonlat]
     )
-    for zone in zones:
-        mask = zone_names == zone.name
-        zone_lonlat = lonlat[mask]
-        if len(zone_lonlat) == 0:
-            continue
-        clusters, zone_noise = cluster_zone(
-            zone_lonlat, projection, params, neighbors_factory
-        )
-        noise += zone_noise
-        for lon, lat, size, radius in clusters:
-            raw_spots.append((zone.name, lon, lat, size, radius))
-            per_zone[zone.name] += 1
+    with tracer.span("stage.cluster", points=int(len(lonlat))) as stage:
+        for zone in zones:
+            mask = zone_names == zone.name
+            zone_lonlat = lonlat[mask]
+            if len(zone_lonlat) == 0:
+                continue
+            with tracer.span(f"cluster.zone:{zone.name}") as span:
+                clusters, zone_noise = cluster_zone(
+                    zone_lonlat, projection, params, neighbors_factory
+                )
+                span.set(
+                    points=int(len(zone_lonlat)),
+                    clusters=len(clusters),
+                    noise=zone_noise,
+                )
+            noise += zone_noise
+            for lon, lat, size, radius in clusters:
+                raw_spots.append((zone.name, lon, lat, size, radius))
+                per_zone[zone.name] += 1
+        stage.set(spots=len(raw_spots), noise=noise)
 
     return SpotDetectionResult(
         spots=assemble_spots(raw_spots),

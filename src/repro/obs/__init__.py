@@ -1,0 +1,46 @@
+"""End-to-end observability for the queue pipeline (``repro.obs``).
+
+Three zero-dependency pieces:
+
+* :mod:`repro.obs.tracer` — span-context tracing for the hot paths
+  (ingest, cleaning, PEA, per-zone DBSCAN, tier-2, snapshot publish)
+  with trace-level sampling; **off by default** and provably
+  output-neutral (see ``tests/test_obs_pipeline.py``);
+* :mod:`repro.obs.export` — JSONL trace export plus the span schema
+  and its validator;
+* :mod:`repro.obs.prometheus` — Prometheus text-format exposition of
+  the :class:`~repro.service.metrics.MetricsRegistry`
+  (``GET /v1/metrics?format=prometheus``, ``taxiqueue metrics-dump``);
+* :mod:`repro.obs.summary` — per-stage latency/throughput digests for
+  ``taxiqueue trace summarize``.
+
+See ``docs/observability.md`` for the span model and metric catalogue.
+"""
+
+from repro.obs.export import (
+    SPAN_SCHEMA,
+    InMemorySink,
+    TraceWriter,
+    load_spans,
+    validate_span,
+    validate_trace_file,
+)
+from repro.obs.prometheus import render_prometheus
+from repro.obs.summary import format_summary, summarize_spans
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "SPAN_SCHEMA",
+    "InMemorySink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceWriter",
+    "Tracer",
+    "format_summary",
+    "load_spans",
+    "render_prometheus",
+    "summarize_spans",
+    "validate_span",
+    "validate_trace_file",
+]

@@ -99,6 +99,12 @@ class ParallelEngineRunner:
             :class:`~repro.resilience.CheckpointManager`; merged stage
             outputs are checkpointed at shard-merge boundaries and
             reused on fingerprint-matching reruns.
+        tracer: optional :class:`repro.obs.Tracer`.  Workers measure
+            their own stage spans (plain dicts riding back on the
+            result dataclasses) and the runner re-parents them into the
+            live trace at each merge boundary, so a parallel run yields
+            the same logical span tree as a serial one.  Defaults to
+            the wrapped engine's tracer.
     """
 
     def __init__(
@@ -110,7 +116,10 @@ class ParallelEngineRunner:
         metrics: Optional[MetricsRegistry] = None,
         mp_context=None,
         checkpointer=None,
+        tracer=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.engine = engine
@@ -121,6 +130,10 @@ class ParallelEngineRunner:
             mp_context = multiprocessing.get_context(mp_context)
         self._mp_context = mp_context
         self.checkpointer = checkpointer
+        if tracer is not None:
+            engine.tracer = tracer
+        elif getattr(engine, "tracer", None) is None:
+            engine.tracer = NULL_TRACER
         self.last_stats: Dict[str, dict] = {}
         self.metrics.gauge("parallel.workers").set(self.workers)
 
@@ -149,6 +162,16 @@ class ParallelEngineRunner:
     @property
     def amplification(self):
         return self.engine.amplification
+
+    @property
+    def tracer(self):
+        """The shared tracer (delegated to the wrapped engine, so serial
+        shortcuts and degraded shards land in the same trace)."""
+        return self.engine.tracer
+
+    @tracer.setter
+    def tracer(self, value):
+        self.engine.tracer = value
 
     @property
     def last_cleaning_report(self) -> Optional[CleaningReport]:
@@ -313,6 +336,8 @@ class ParallelEngineRunner:
             # exceeds the parallelisable work, so stay serial.
             self.metrics.counter("parallel.tier1.serial_shortcut").inc()
             return self.engine.detect_spots(store)
+        for task in tasks:
+            task.trace = self.tracer.enabled
         results = self._run_stage("tier1", tasks, worker_mod.run_tier1_shard)
         return self._finish_tier1(results, extra_malformed=0)
 
@@ -358,12 +383,18 @@ class ParallelEngineRunner:
         with tempfile.TemporaryDirectory(
             prefix="taxiqueue-shards-"
         ) if shard_dir is None else _keep_dir(shard_dir) as out_dir:
-            split = split_csv_by_zone(
-                path,
-                self.engine.zones,
-                target_shards=self._target_shards(),
-                out_dir=out_dir,
-            )
+            with self.tracer.span("stage.ingest", mode="split-csv") as span:
+                split = split_csv_by_zone(
+                    path,
+                    self.engine.zones,
+                    target_shards=self._target_shards(),
+                    out_dir=out_dir,
+                )
+                span.set(
+                    records=split.rows,
+                    malformed=split.malformed_lines,
+                    shards=len(split.shards),
+                )
             self.metrics.counter("parallel.ingest.rows").inc(split.rows)
             self.metrics.counter("parallel.ingest.malformed_lines").inc(
                 split.malformed_lines
@@ -387,6 +418,7 @@ class ParallelEngineRunner:
                     city_bbox=self.engine.city_bbox,
                     inaccessible=self.engine.inaccessible,
                     params=cfg.detection,
+                    trace=self.tracer.enabled,
                 )
                 for i, shard in enumerate(split.shards)
             ]
@@ -397,11 +429,50 @@ class ParallelEngineRunner:
             results, extra_malformed=split.malformed_lines
         )
 
+    def _attach_worker_stage_spans(
+        self, results: List[Tier1ShardResult]
+    ) -> None:
+        """Aggregate the shards' clean/pea spans into one logical
+        ``stage.clean`` + ``stage.pea`` pair (the serial trace shape),
+        keeping the per-shard worker spans as their children."""
+        from repro.obs.tracer import worker_span
+
+        groups = {"clean": [], "pea": []}
+        for result in results:
+            for span in result.spans:
+                stage = span["name"].split(".", 1)[0]
+                if stage in groups:
+                    groups[stage].append(span)
+        stage_spans = []
+        for stage in ("clean", "pea"):
+            children = groups[stage]
+            if not children:
+                continue
+            stage_spans.append(
+                worker_span(
+                    f"stage.{stage}",
+                    min(child["start_ts"] for child in children),
+                    sum(child["duration_s"] for child in children),
+                    {
+                        "aggregated": True,
+                        "shards": len(children),
+                        "records": sum(
+                            child["attrs"].get("records", 0)
+                            for child in children
+                        ),
+                    },
+                    children=children,
+                )
+            )
+        self.tracer.attach(stage_spans)
+
     def _finish_tier1(
         self, results: List[Tier1ShardResult], extra_malformed: int
     ) -> SpotDetectionResult:
         """Merge shard results and run the per-zone clustering stage."""
         cfg = self.engine.config
+        if self.tracer.enabled:
+            self._attach_worker_stage_spans(results)
         pairs: List[Tuple[str, List[SubTrajectory]]] = []
         report = CleaningReport() if cfg.clean_inputs else None
         records_in = 0
@@ -438,11 +509,17 @@ class ParallelEngineRunner:
                         lonlat=lonlat[mask],
                         projection=projection,
                         params=cfg.detection,
+                        trace=self.tracer.enabled,
                     )
                 )
-        zone_results = self._run_stage(
-            "zones", zone_tasks, worker_mod.run_zone_cluster
-        )
+        with self.tracer.span(
+            "stage.cluster", points=int(len(lonlat)), zones=len(zone_tasks)
+        ) as cluster_span:
+            zone_results = self._run_stage(
+                "zones", zone_tasks, worker_mod.run_zone_cluster
+            )
+            for result in zone_results:
+                self.tracer.attach(result.spans, parent=cluster_span)
 
         by_zone: Dict[str, ZoneClusterResult] = {
             result.zone: result for result in zone_results
@@ -534,10 +611,17 @@ class ParallelEngineRunner:
                 street_job_ratio=ratios.get(
                     spot.zone, DEFAULT_STREET_JOB_RATIO
                 ),
+                trace=self.tracer.enabled,
             )
             for spot in detection.spots
         ]
-        results = self._run_stage("tier2", tasks, worker_mod.run_spot_task)
+        with self.tracer.span("stage.tier2", spots=len(tasks)) as stage:
+            results = self._run_stage(
+                "tier2", tasks, worker_mod.run_spot_task
+            )
+            for result in results:
+                self.tracer.attach(result.spans, parent=stage)
+            stage.set(labeled=len(results))
         self.metrics.counter("parallel.tier2.spots").inc(len(tasks))
         return {result.spot_id: result.analysis for result in results}
 

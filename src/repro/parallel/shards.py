@@ -24,7 +24,7 @@ bit-for-bit the serial output regardless of how work was split.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -76,6 +76,9 @@ class Tier1ShardTask:
     city_bbox: Optional[BBox]
     inaccessible: List[BBox]
     params: SpotDetectionParams
+    trace: bool = False
+    """Measure per-stage worker spans into the result (see
+    :mod:`repro.obs`); purely observational, never changes output."""
 
 
 @dataclass
@@ -93,6 +96,8 @@ class Tier1FileShardTask:
     city_bbox: Optional[BBox]
     inaccessible: List[BBox]
     params: SpotDetectionParams
+    trace: bool = False
+    """See :attr:`Tier1ShardTask.trace`."""
 
 
 @dataclass
@@ -104,6 +109,9 @@ class Tier1ShardResult:
     report: Optional[CleaningReport]
     records_in: int
     elapsed_s: float
+    spans: List[dict] = field(default_factory=list)
+    """Worker-measured span dicts (only when the task asked to trace),
+    re-parented into the live trace at the result-merge boundary."""
 
 
 @dataclass
@@ -114,6 +122,8 @@ class ZoneClusterTask:
     lonlat: np.ndarray
     projection: LocalProjection
     params: SpotDetectionParams
+    trace: bool = False
+    """See :attr:`Tier1ShardTask.trace`."""
 
 
 @dataclass
@@ -125,6 +135,8 @@ class ZoneClusterResult:
     noise: int
     points: int
     elapsed_s: float
+    spans: List[dict] = field(default_factory=list)
+    """See :attr:`Tier1ShardResult.spans`."""
 
 
 @dataclass
@@ -138,6 +150,8 @@ class SpotTask:
     policy: ThresholdPolicy
     slot_seconds: float
     street_job_ratio: float
+    trace: bool = False
+    """See :attr:`Tier1ShardTask.trace`."""
 
 
 @dataclass
@@ -147,6 +161,8 @@ class SpotResult:
     spot_id: str
     analysis: SpotAnalysis
     elapsed_s: float
+    spans: List[dict] = field(default_factory=list)
+    """See :attr:`Tier1ShardResult.spans`."""
 
 
 def taxi_home_zone(zones: ZonePartition, records: List[MdtRecord]) -> str:

@@ -30,6 +30,7 @@ from typing import List, Tuple, Union
 from repro.core.engine import analyze_spot
 from repro.core.pea import extract_pickup_events
 from repro.core.spots import cluster_zone
+from repro.obs.tracer import worker_span
 from repro.parallel.shards import (
     SpotResult,
     SpotTask,
@@ -64,25 +65,39 @@ def _clean_pea_taxis(
     taxis: List[Tuple[str, List[MdtRecord]]],
     task: Union[Tier1ShardTask, Tier1FileShardTask],
     report: CleaningReport,
-) -> List[Tuple[str, List[SubTrajectory]]]:
-    """Cleaning + PEA for each taxi; events are detached for pickling."""
+) -> Tuple[List[Tuple[str, List[SubTrajectory]]], float, float]:
+    """Cleaning + PEA for each taxi; events are detached for pickling.
+
+    Returns ``(events_by_taxi, clean_s, pea_s)``; the per-stage seconds
+    are only measured when ``task.trace`` asks for worker spans (zeros
+    otherwise, so the untraced hot path pays nothing).
+    """
     out: List[Tuple[str, List[SubTrajectory]]] = []
+    clean_s = 0.0
+    pea_s = 0.0
+    trace = task.trace
     for taxi_id, records in taxis:
         if task.clean:
+            t0 = time.perf_counter() if trace else 0.0
             records = clean_records(
                 records,
                 city_bbox=task.city_bbox,
                 inaccessible=task.inaccessible,
                 report=report,
             )
+            if trace:
+                clean_s += time.perf_counter() - t0
         trajectory = Trajectory(taxi_id, records)
+        t0 = time.perf_counter() if trace else 0.0
         events = extract_pickup_events(
             trajectory,
             speed_threshold_kmh=task.params.speed_threshold_kmh,
             apply_state_filters=task.params.apply_state_filters,
         )
+        if trace:
+            pea_s += time.perf_counter() - t0
         out.append((taxi_id, [detach_event(event) for event in events]))
-    return out
+    return out, clean_s, pea_s
 
 
 def run_tier1_shard(
@@ -91,6 +106,7 @@ def run_tier1_shard(
 ) -> Tier1ShardResult:
     """Cleaning + PEA over one shard (inline records or a CSV file)."""
     start = time.perf_counter()
+    start_wall = time.time()
     if allow_fault:
         _maybe_inject_fault("tier1")
     report = CleaningReport()
@@ -105,13 +121,32 @@ def run_tier1_shard(
     else:
         taxis = task.taxis
     records_in = sum(len(records) for _, records in taxis)
-    events_by_taxi = _clean_pea_taxis(taxis, task, report)
+    events_by_taxi, clean_s, pea_s = _clean_pea_taxis(taxis, task, report)
+    spans: List[dict] = []
+    if task.trace:
+        attrs = {
+            "shard": task.shard_id,
+            "zone": task.zone,
+            "records": records_in,
+        }
+        spans = [
+            worker_span(
+                f"clean.shard:{task.shard_id}", start_wall, clean_s, attrs
+            ),
+            worker_span(
+                f"pea.shard:{task.shard_id}",
+                start_wall + clean_s,
+                pea_s,
+                attrs,
+            ),
+        ]
     return Tier1ShardResult(
         shard_id=task.shard_id,
         events_by_taxi=events_by_taxi,
         report=report if task.clean else None,
         records_in=records_in,
         elapsed_s=time.perf_counter() - start,
+        spans=spans,
     )
 
 
@@ -120,21 +155,40 @@ def run_zone_cluster(
 ) -> ZoneClusterResult:
     """Per-zone DBSCAN over one zone's pickup centroids."""
     start = time.perf_counter()
+    start_wall = time.time()
     if allow_fault:
         _maybe_inject_fault("zones")
     clusters, noise = cluster_zone(task.lonlat, task.projection, task.params)
+    elapsed = time.perf_counter() - start
+    spans: List[dict] = []
+    if task.trace:
+        spans = [
+            worker_span(
+                f"cluster.zone:{task.zone}",
+                start_wall,
+                elapsed,
+                {
+                    "zone": task.zone,
+                    "points": int(len(task.lonlat)),
+                    "clusters": len(clusters),
+                    "noise": noise,
+                },
+            )
+        ]
     return ZoneClusterResult(
         zone=task.zone,
         clusters=clusters,
         noise=noise,
         points=int(len(task.lonlat)),
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed,
+        spans=spans,
     )
 
 
 def run_spot_task(task: SpotTask, allow_fault: bool = True) -> SpotResult:
     """Tier-2 analysis of one spot."""
     start = time.perf_counter()
+    start_wall = time.time()
     if allow_fault:
         _maybe_inject_fault("tier2")
     analysis = analyze_spot(
@@ -146,8 +200,23 @@ def run_spot_task(task: SpotTask, allow_fault: bool = True) -> SpotResult:
         task.slot_seconds,
         task.street_job_ratio,
     )
+    elapsed = time.perf_counter() - start
+    spans: List[dict] = []
+    if task.trace:
+        spans = [
+            worker_span(
+                f"tier2.spot:{task.spot.spot_id}",
+                start_wall,
+                elapsed,
+                {
+                    "spot": task.spot.spot_id,
+                    "events": len(task.events),
+                },
+            )
+        ]
     return SpotResult(
         spot_id=task.spot.spot_id,
         analysis=analysis,
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed,
+        spans=spans,
     )

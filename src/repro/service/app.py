@@ -94,6 +94,7 @@ class QueueService:
         config: Optional[ServiceConfig] = None,
         grid: Optional[TimeSlotGrid] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> "QueueService":
         """Bootstrap the full stack from one day of logs.
 
@@ -109,11 +110,27 @@ class QueueService:
             metrics: registry to record into; pass a runner's registry
                 so bootstrap parallelism stats surface at
                 ``/v1/metrics`` (one is created when omitted).
+            tracer: optional :class:`repro.obs.Tracer`; the bootstrap
+                runs under one ``pipeline.bootstrap`` trace and the
+                replayer emits per-window ``stream.window`` traces.
+                Defaults to the engine's tracer.
         """
         config = config or ServiceConfig()
         metrics = metrics if metrics is not None else MetricsRegistry()
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
 
-        with metrics.time("bootstrap.seconds"):
+            tracer = getattr(engine, "tracer", None) or NULL_TRACER
+        else:
+            # Share one tracer so the engine's stage spans nest under
+            # the bootstrap root opened here.
+            engine.tracer = tracer
+
+        with metrics.time("bootstrap.seconds"), tracer.trace(
+            "pipeline.bootstrap"
+        ) as root:
+            with tracer.span("stage.ingest", mode="store") as span:
+                span.set(records=len(store))
             cleaned = engine.preprocess(store)
             detection = engine.detect_spots(cleaned)
             analyses = engine.disambiguate(cleaned, detection, grid)
@@ -131,6 +148,7 @@ class QueueService:
                     engine.config.slot_seconds,
                 )
             records = sorted(cleaned.iter_records(), key=lambda r: r.ts)
+            root.set(spots=len(detection.spots), records=len(records))
 
         metrics.gauge("bootstrap.spots").set(len(detection.spots))
         metrics.gauge("bootstrap.records").set(len(records))
@@ -176,6 +194,7 @@ class QueueService:
             reorder=reorder,
             checkpointer=checkpointer,
             skip_records=resumed_from or 0,
+            tracer=tracer,
         )
         from repro.resilience import ServiceWatchdog
 

@@ -205,10 +205,11 @@ class QueueStateServer:
         self, path: str, if_none_match: Optional[str] = None
     ) -> Response:
         """Materialize the response for one GET (socket-free, testable)."""
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         with self.metrics.time("http.request_seconds"):
             try:
-                response = self._route(path, if_none_match)
+                response = self._route(path, if_none_match, query)
             except Exception:
                 # Reads must never 5xx; fall back to the freshest body
                 # this path ever served (see "Degraded serving" above).
@@ -226,11 +227,13 @@ class QueueStateServer:
             return parts[1]
         return "unknown"
 
-    def _route(self, path: str, if_none_match: Optional[str]) -> Response:
+    def _route(
+        self, path: str, if_none_match: Optional[str], query: str = ""
+    ) -> Response:
         if path == "/v1/healthz":
             return Response(200, _json_body(self._health_payload()))
         if path == "/v1/metrics":
-            return Response(200, _json_body(self.metrics.snapshot()))
+            return self._metrics_response(query)
         if path == "/v1/spots":
             return self._snapshot_response(
                 path, if_none_match, self.store.spots_payload
@@ -254,6 +257,29 @@ class QueueStateServer:
         return Response(
             404, _json_body({"error": f"no such endpoint: {path}"})
         )
+
+    def _metrics_response(self, query: str) -> Response:
+        """``/v1/metrics``: JSON by default, ``?format=prometheus`` for
+        text exposition format 0.0.4 (see :mod:`repro.obs.prometheus`)."""
+        from urllib.parse import parse_qs
+
+        fmt = parse_qs(query).get("format", ["json"])[-1]
+        if fmt == "prometheus":
+            from repro.obs.prometheus import render_prometheus
+
+            return Response(
+                200,
+                render_prometheus(self.metrics).encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if fmt != "json":
+            return Response(
+                400,
+                _json_body(
+                    {"error": f"unknown metrics format: {fmt!r}"}
+                ),
+            )
+        return Response(200, _json_body(self.metrics.snapshot()))
 
     def _snapshot_response(
         self, path: str, if_none_match: Optional[str], payload_fn

@@ -20,8 +20,18 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default latency bucket upper bounds in seconds.  Chosen for the
+#: service's two observed regimes — sub-millisecond cache hits and
+#: multi-second batch stages — with Prometheus-conventional spacing so
+#: the exposition's ``le`` label set is stable across runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class Counter:
@@ -77,13 +87,30 @@ class Histogram:
     Keeps the exact lifetime ``count`` and ``sum`` plus a ring buffer of
     the most recent ``window`` observations; quantiles are computed over
     the window (recent behaviour is what an operator watches).
+
+    Cumulative bucket counts (Prometheus ``le`` semantics: observations
+    ``<= bound``) are maintained exactly over the lifetime, under the
+    same lock as ``count``/``sum`` so a concurrent scrape can never see
+    a bucket ahead of the count it belongs to.
     """
 
-    def __init__(self, name: str, window: int = 4096):
+    def __init__(
+        self,
+        name: str,
+        window: int = 4096,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
         if window < 1:
             raise ValueError("window must hold at least one observation")
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
         self.name = name
         self.window = window
+        self.bucket_bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
         self._ring: List[float] = []
         self._next = 0
         self._count = 0
@@ -97,11 +124,28 @@ class Histogram:
             self._sum += value
             if value > self._max:
                 self._max = value
+            index = bisect_left(self.bucket_bounds, value)
+            if index < len(self._bucket_counts):
+                self._bucket_counts[index] += 1
             if len(self._ring) < self.window:
                 self._ring.append(value)
             else:
                 self._ring[self._next] = value
             self._next = (self._next + 1) % self.window
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with the
+        implicit ``(inf, lifetime count)`` bucket."""
+        with self._lock:
+            raw = list(self._bucket_counts)
+            total = self._count
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bucket_bounds, raw):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), total))
+        return out
 
     @property
     def count(self) -> int:
@@ -190,14 +234,32 @@ class MetricsRegistry:
             self._gauges, (self._counters, self._histograms), name, Gauge
         )
 
-    def histogram(self, name: str, window: int = 4096) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        window: int = 4096,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
         """Get or create the histogram ``name``."""
         return self._get(
             self._histograms,
             (self._counters, self._gauges),
             name,
-            lambda n: Histogram(n, window=window),
+            lambda n: Histogram(n, window=window, buckets=buckets),
         )
+
+    def instruments(
+        self,
+    ) -> Tuple[Dict[str, Counter], Dict[str, Gauge], Dict[str, Histogram]]:
+        """Consistent copies of the three instrument tables (for
+        exposition renderers that need more than :meth:`snapshot`'s
+        JSON reduction, e.g. histogram buckets)."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+            )
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:

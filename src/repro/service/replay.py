@@ -37,6 +37,7 @@ exposes progress through the metrics registry.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.service.metrics import MetricsRegistry
@@ -51,6 +52,90 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: stretch in the feed should not freeze the serving layer's progress
 #: reporting for minutes.
 MAX_SLEEP_S = 5.0
+
+
+class _WindowAccounting:
+    """Per-window stage-second accumulator for the replay trace.
+
+    A streaming "window" runs from one slot-finalization event to the
+    next; there is no open-span interval to bracket with ``with``
+    blocks, so the replayer accumulates stage seconds here and emits
+    the finished window as one pre-measured trace
+    (:meth:`~repro.obs.Tracer.emit_window`).  Sleep time spent pacing
+    is deliberately *not* accounted — the trace shows work, not waits.
+    """
+
+    __slots__ = (
+        "tracer",
+        "has_reorder",
+        "has_checkpointer",
+        "index",
+        "start_wall",
+        "records",
+        "slots",
+        "ingest_s",
+        "reorder_s",
+        "publish_s",
+        "checkpoint_s",
+    )
+
+    def __init__(self, tracer, has_reorder: bool, has_checkpointer: bool):
+        self.tracer = tracer
+        self.has_reorder = has_reorder
+        self.has_checkpointer = has_checkpointer
+        self.index = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self.start_wall = time.time()
+        self.records = 0
+        self.slots = 0
+        self.ingest_s = 0.0
+        self.reorder_s = 0.0
+        self.publish_s = 0.0
+        self.checkpoint_s = 0.0
+
+    def emit(self) -> None:
+        """Flush the window as one ``stream.window`` trace."""
+        from repro.obs.tracer import worker_span
+
+        at = self.start_wall
+        children = []
+        if self.has_reorder:
+            children.append(
+                worker_span("stage.reorder", at, self.reorder_s, {})
+            )
+        children.append(
+            worker_span(
+                "stage.ingest", at, self.ingest_s, {"records": self.records}
+            )
+        )
+        children.append(
+            worker_span(
+                "stage.publish", at, self.publish_s, {"slots": self.slots}
+            )
+        )
+        if self.has_checkpointer:
+            children.append(
+                worker_span("stage.checkpoint", at, self.checkpoint_s, {})
+            )
+        total = (
+            self.ingest_s + self.reorder_s + self.publish_s
+            + self.checkpoint_s
+        )
+        self.tracer.emit_window(
+            "stream.window",
+            at,
+            total,
+            {
+                "window": self.index,
+                "records": self.records,
+                "slots": self.slots,
+            },
+            children,
+        )
+        self.index += 1
+        self._reset()
 
 
 class StreamReplayer:
@@ -74,6 +159,10 @@ class StreamReplayer:
             boundaries (see its ``every_records`` cadence).
         skip_records: source records to fast-forward without feeding,
             used to resume from a restored checkpoint.
+        tracer: optional :class:`repro.obs.Tracer`; one
+            ``stream.window`` trace (reorder/ingest/publish/checkpoint
+            stage children) is emitted per slot-finalization window.
+            No-op by default.
     """
 
     def __init__(
@@ -85,11 +174,15 @@ class StreamReplayer:
         reorder: Optional["ReorderBuffer"] = None,
         checkpointer: Optional["ServiceCheckpointer"] = None,
         skip_records: int = 0,
+        tracer=None,
     ):
         if speedup is not None and speedup <= 0:
             raise ValueError("speedup must be positive (or None)")
         if skip_records < 0:
             raise ValueError("skip_records must be non-negative")
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER as tracer
+        self.tracer = tracer
         self.monitor = monitor
         if isinstance(records, Sequence):
             self.records: Iterable[MdtRecord] = sorted(
@@ -126,6 +219,17 @@ class StreamReplayer:
         clock_gauge = self.metrics.gauge("replay.stream_clock")
         pacing_clock: Optional[float] = None
         position = 0
+        # Window accounting only exists when tracing is on, so the
+        # untraced hot path pays no clock reads at all.
+        acct = (
+            _WindowAccounting(
+                self.tracer,
+                has_reorder=self.reorder is not None,
+                has_checkpointer=self.checkpointer is not None,
+            )
+            if self.tracer.enabled
+            else None
+        )
         try:
             for record in self.records:
                 if self._stop.is_set():
@@ -134,7 +238,10 @@ class StreamReplayer:
                 if position <= self.skip_records:
                     continue
                 if self.reorder is not None:
+                    t0 = time.perf_counter() if acct else 0.0
                     batch = self.reorder.feed(record)
+                    if acct:
+                        acct.reorder_s += time.perf_counter() - t0
                 else:
                     batch = [record]
                 for release in batch:
@@ -146,26 +253,58 @@ class StreamReplayer:
                         pacing_clock = release.ts
                     elif release.ts < pacing_clock and self.reorder is None:
                         nonmono_counter.inc()
+                    t0 = time.perf_counter() if acct else 0.0
                     closed = len(self.monitor.feed(release))
+                    if acct:
+                        # A closing feed call runs finalization and the
+                        # snapshot publish subscribers; attribute it to
+                        # the publish stage, plain feeds to ingest.
+                        dt = time.perf_counter() - t0
+                        if closed:
+                            acct.publish_s += dt
+                            acct.slots += closed
+                        else:
+                            acct.ingest_s += dt
                     if closed:
                         slots_counter.inc(closed)
                     finalized += closed
                 records_counter.inc()
+                if acct:
+                    acct.records += 1
                 if pacing_clock is not None:
                     clock_gauge.set(pacing_clock)
                 if self.checkpointer is not None:
+                    t0 = time.perf_counter() if acct else 0.0
                     self.checkpointer.maybe_checkpoint(position)
+                    if acct:
+                        acct.checkpoint_s += time.perf_counter() - t0
+                if acct and acct.slots:
+                    acct.emit()
             if not self._stop.is_set():
                 if self.reorder is not None:
                     for release in self.reorder.flush():
+                        t0 = time.perf_counter() if acct else 0.0
                         closed = len(self.monitor.feed(release))
+                        if acct:
+                            dt = time.perf_counter() - t0
+                            if closed:
+                                acct.publish_s += dt
+                                acct.slots += closed
+                            else:
+                                acct.ingest_s += dt
                         if closed:
                             slots_counter.inc(closed)
                         finalized += closed
+                t0 = time.perf_counter() if acct else 0.0
                 closed = len(self.monitor.finish())
+                if acct:
+                    acct.publish_s += time.perf_counter() - t0
+                    acct.slots += closed
                 if closed:
                     slots_counter.inc(closed)
                 finalized += closed
+                if acct and (acct.records or acct.slots):
+                    acct.emit()
                 self.finished.set()
         except Exception as exc:
             # A dead feed (or an injected crash) must not take the

@@ -169,3 +169,47 @@ def streaming_snapshot(
         monitor.feed(record)
     monitor.finish()
     return snapshot_state(snapshot)
+
+
+def prometheus_exposition(
+    engine: QueueAnalyticEngine, store: MdtLogStore
+) -> str:
+    """The Prometheus exposition text after a full golden-day replay.
+
+    Bootstraps the service stack the way ``taxiqueue serve`` does,
+    replays the whole day synchronously, and renders the shared metrics
+    registry.  The instrument set — and therefore the exposition's
+    structure (names, labels, HELP/TYPE lines) — is a deterministic
+    function of this code path; only the sample values vary run to run.
+    """
+    from repro.obs.prometheus import render_prometheus
+    from repro.service.app import QueueService, ServiceConfig
+    from repro.service.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    service = QueueService.from_day(
+        store, engine, ServiceConfig(speedup=None), metrics=metrics
+    )
+    try:
+        service.warm()
+        return render_prometheus(metrics)
+    finally:
+        # The HTTP listener was bound but never started; release it.
+        service.server._httpd.server_close()
+
+
+def normalize_exposition(text: str) -> str:
+    """Strip sample values from exposition text, keeping structure.
+
+    Comment lines (HELP/TYPE) stay verbatim; every sample line keeps
+    its metric name and label set but has the value replaced, so two
+    expositions compare equal exactly when their structure matches.
+    """
+    lines = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            lines.append(line)
+        else:
+            name, _, _value = line.rpartition(" ")
+            lines.append(name + " <value>")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,205 @@
+"""Thread-safety pins for the metrics registry.
+
+The HTTP server is threaded and the replay loop runs in its own
+thread, so every instrument must survive concurrent hammering without
+lost updates — these tests pin that: exact counter totals under N
+writers, exact histogram counts with consistent cumulative buckets,
+and monotone reads while writes are in flight.  Also pins the
+Prometheus ``le`` boundary semantics of the bucket layout.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+THREADS = 8
+ROUNDS = 2500
+
+
+def hammer(n_threads, fn):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def run(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+class TestCounterConcurrency:
+    def test_no_lost_increments(self):
+        registry = MetricsRegistry()
+
+        def work(i):
+            counter = registry.counter("hammered")
+            for _ in range(ROUNDS):
+                counter.inc()
+
+        hammer(THREADS, work)
+        assert registry.counter("hammered").value == THREADS * ROUNDS
+
+    def test_mixed_amounts_sum_exactly(self):
+        registry = MetricsRegistry()
+
+        def work(i):
+            counter = registry.counter("weighted")
+            for _ in range(ROUNDS):
+                counter.inc(2.0)
+
+        hammer(THREADS, work)
+        assert registry.counter("weighted").value == THREADS * ROUNDS * 2.0
+
+    def test_reads_are_monotone_under_writes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("monotone")
+        stop = threading.Event()
+        regressions = []
+
+        def reader():
+            last = 0.0
+            while not stop.is_set():
+                value = counter.value
+                if value < last:
+                    regressions.append((last, value))
+                last = value
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            hammer(
+                THREADS,
+                lambda i: [counter.inc() for _ in range(ROUNDS)],
+            )
+        finally:
+            stop.set()
+            thread.join()
+        assert regressions == []
+        assert counter.value == THREADS * ROUNDS
+
+    def test_get_or_create_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def work(i):
+            instrument = registry.counter("raced")
+            with lock:
+                seen.append(instrument)
+
+        hammer(THREADS, work)
+        assert all(c is seen[0] for c in seen)
+
+
+class TestHistogramConcurrency:
+    def test_exact_count_and_sum(self):
+        registry = MetricsRegistry()
+
+        def work(i):
+            histogram = registry.histogram("lat")
+            for _ in range(ROUNDS):
+                histogram.observe(0.01)
+
+        hammer(THREADS, work)
+        histogram = registry.histogram("lat")
+        assert histogram.count == THREADS * ROUNDS
+        assert histogram.sum == pytest.approx(THREADS * ROUNDS * 0.01)
+
+    def test_buckets_consistent_with_count(self):
+        registry = MetricsRegistry()
+        values = [0.0005, 0.003, 0.03, 0.3, 3.0, 90.0]
+
+        def work(i):
+            histogram = registry.histogram("spread")
+            for r in range(ROUNDS):
+                histogram.observe(values[r % len(values)])
+
+        hammer(THREADS, work)
+        buckets = registry.histogram("spread").bucket_counts()
+        # Cumulative: monotone non-decreasing, +Inf bucket == count.
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == THREADS * ROUNDS
+        # Nothing lost across the finite buckets either: 90.0 is the
+        # only value above the largest bound.
+        expected_over = THREADS * sum(
+            1 for r in range(ROUNDS) if values[r % len(values)] == 90.0
+        )
+        assert buckets[-1][1] - buckets[-2][1] == expected_over
+
+    def test_concurrent_scrape_never_sees_bucket_ahead_of_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("scraped")
+        stop = threading.Event()
+        violations = []
+
+        def scraper():
+            while not stop.is_set():
+                buckets = histogram.bucket_counts()
+                finite_total = buckets[-2][1]
+                total = buckets[-1][1]
+                if finite_total > total:
+                    violations.append((finite_total, total))
+
+        thread = threading.Thread(target=scraper)
+        thread.start()
+        try:
+            hammer(
+                THREADS,
+                lambda i: [histogram.observe(0.01) for _ in range(ROUNDS)],
+            )
+        finally:
+            stop.set()
+            thread.join()
+        assert violations == []
+
+
+class TestBucketSemantics:
+    def test_default_bounds_sorted_distinct(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+    def test_observation_on_boundary_counts_le(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.1)  # exactly on the first bound: le includes
+        buckets = dict(histogram.bucket_counts())
+        assert buckets[0.1] == 1
+        assert buckets[1.0] == 1
+
+    def test_observation_above_all_bounds_lands_in_inf(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(5.0)
+        buckets = histogram.bucket_counts()
+        assert buckets == [(0.1, 0), (1.0, 0), (math.inf, 1)]
+
+    def test_unsorted_bounds_are_sorted(self):
+        histogram = Histogram("h", buckets=(1.0, 0.1))
+        assert histogram.bucket_bounds == (0.1, 1.0)
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.1, 0.1))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())

@@ -1,0 +1,143 @@
+"""Prometheus exposition tests.
+
+The golden test replays the committed golden day through the serve
+bootstrap + streaming path and compares the *normalized* exposition
+(metric names, label sets, HELP/TYPE lines — values stripped) against
+``tests/data/golden_prometheus.txt``.  Unit tests pin the format rules
+the golden file relies on: ``_total`` counter suffix, name
+sanitization, cumulative ``le`` buckets, special float rendering.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.prometheus import (
+    PREFIX,
+    _format_value,
+    metric_name,
+    render_prometheus,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.trace.log_store import MdtLogStore
+
+from ._golden import golden_engine, normalize_exposition, prometheus_exposition
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+class TestGoldenExposition:
+    def test_structure_matches_committed_golden(self):
+        store = MdtLogStore.from_csv(DATA_DIR / "golden_day.csv")
+        text = prometheus_exposition(golden_engine(store), store)
+        expected = (DATA_DIR / "golden_prometheus.txt").read_text()
+        assert normalize_exposition(text) == expected
+
+    def test_golden_file_is_normalized(self):
+        # The committed fixture must itself be value-free, otherwise the
+        # comparison would silently depend on run-to-run timing.
+        committed = (DATA_DIR / "golden_prometheus.txt").read_text()
+        assert normalize_exposition(committed) == committed
+
+
+class TestFormatRules:
+    def test_counter_gets_total_suffix_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter("replay.records").inc(7)
+        text = render_prometheus(registry)
+        assert "# HELP taxiqueue_replay_records_total " in text
+        assert "# TYPE taxiqueue_replay_records_total counter" in text
+        assert "\ntaxiqueue_replay_records_total 7\n" in text
+
+    def test_gauge_renders_verbatim(self):
+        registry = MetricsRegistry()
+        registry.gauge("snapshot.version").set(42)
+        text = render_prometheus(registry)
+        assert "# TYPE taxiqueue_snapshot_version gauge" in text
+        assert "\ntaxiqueue_snapshot_version 42\n" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = render_prometheus(registry)
+        assert '# TYPE taxiqueue_lat histogram' in text
+        assert 'taxiqueue_lat_bucket{le="0.1"} 1' in text
+        assert 'taxiqueue_lat_bucket{le="1"} 2' in text
+        assert 'taxiqueue_lat_bucket{le="+Inf"} 3' in text
+        assert "taxiqueue_lat_count 3" in text
+        assert "taxiqueue_lat_sum 5.55" in text
+
+    def test_unknown_name_gets_generic_help(self):
+        registry = MetricsRegistry()
+        registry.counter("made.up")
+        text = render_prometheus(registry)
+        assert "# HELP taxiqueue_made_up_total Registry counter made.up." in text
+
+    def test_ends_with_single_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
+
+class TestMetricName:
+    def test_dots_and_dashes_flatten_to_underscores(self):
+        assert metric_name("http.request-seconds") == (
+            PREFIX + "http_request_seconds"
+        )
+
+    def test_leading_digit_gets_underscore(self):
+        assert metric_name("5xx.count") == PREFIX + "_5xx_count"
+
+    def test_colons_preserved(self):
+        assert metric_name("ns:thing") == PREFIX + "ns:thing"
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0"),
+            (7.0, "7"),
+            (-3.0, "-3"),
+            (0.25, "0.25"),
+            (math.inf, "+Inf"),
+            (-math.inf, "-Inf"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert _format_value(value) == expected
+
+    def test_nan(self):
+        assert _format_value(math.nan) == "NaN"
+
+    def test_huge_integral_float_not_collapsed(self):
+        # Beyond 2**53 int(x) would fabricate digits; repr is safer.
+        assert _format_value(1e18) == "1e+18"
+
+
+class TestNormalizeExposition:
+    def test_strips_values_keeps_labels(self):
+        text = (
+            "# HELP taxiqueue_x_total help\n"
+            "# TYPE taxiqueue_x_total counter\n"
+            "taxiqueue_x_total 1234\n"
+            'taxiqueue_h_bucket{le="0.1"} 9\n'
+        )
+        normalized = normalize_exposition(text)
+        assert "1234" not in normalized
+        assert "taxiqueue_x_total <value>" in normalized
+        assert 'taxiqueue_h_bucket{le="0.1"} <value>' in normalized
+        assert "# HELP taxiqueue_x_total help" in normalized
+
+    def test_idempotent(self):
+        text = "# TYPE a counter\na 1\n"
+        once = normalize_exposition(text)
+        assert normalize_exposition(once) == once
