@@ -12,11 +12,21 @@ Subcommands mirror the deployed system's workflow (paper section 7.1):
 * ``metrics-dump`` — fetch a running service's metrics in Prometheus
   text format;
 * ``trace summarize`` — per-stage latency/throughput digest of a JSONL
-  trace file (see ``docs/observability.md``).
+  trace file (see ``docs/observability.md``);
+* ``history compact|query|export`` — maintain and query the durable
+  multi-day history written by ``serve --history-dir`` (see
+  ``docs/history.md``).
 
 ``detect``, ``analyze`` and ``serve`` accept ``--trace-out FILE`` (plus
 ``--trace-sample N``) to record pipeline trace spans; an unwritable
 trace path fails fast — before any pipeline work — with exit code 2.
+A ``.jsonl.gz`` trace path writes gzip; ``trace summarize`` and
+``history query`` read either encoding transparently.
+
+Invalid serving knobs (non-positive ``--checkpoint-every``, negative
+``--disorder-window`` / ``--cache-ttl`` / ``--grace``) fail the same
+way: one clear message on stderr and exit code 2, before any pipeline
+work runs.
 """
 
 from __future__ import annotations
@@ -425,9 +435,39 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_serve_args(args: argparse.Namespace) -> Optional[str]:
+    """The first invalid serving knob's message, or None when all are
+    fine.  Runs before any pipeline work so a typo'd flag can never
+    cost a bootstrap."""
+    if args.checkpoint_every <= 0:
+        return (
+            f"--checkpoint-every must be a positive record count, "
+            f"got {args.checkpoint_every}"
+        )
+    if args.disorder_window < 0:
+        return (
+            f"--disorder-window must be >= 0 seconds, "
+            f"got {args.disorder_window:g}"
+        )
+    if args.cache_ttl < 0:
+        return f"--cache-ttl must be >= 0 seconds, got {args.cache_ttl:g}"
+    if args.grace < 0:
+        return f"--grace must be >= 0 seconds, got {args.grace:g}"
+    if args.history_compact_interval <= 0:
+        return (
+            f"--history-compact-interval must be positive seconds, "
+            f"got {args.history_compact_interval:g}"
+        )
+    return None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueueService, ServiceConfig
 
+    problem = _validate_serve_args(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     tracer, trace_writer = _build_tracer(args)
     if tracer is None:
         return 2
@@ -467,6 +507,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every_records=args.checkpoint_every,
         stale_after_s=args.stale_after,
+        history_dir=args.history_dir,
+        history_day_of_week=args.history_day,
+        history_compact_interval_s=args.history_compact_interval,
     )
     engine = _wrap_workers(engine, args)
     print(f"bootstrapping spots and thresholds from {source} ...")
@@ -487,6 +530,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"  GET {service.server.url}/v1/spots")
     print(f"  GET {service.server.url}/v1/citywide")
     print(f"  GET {service.server.url}/v1/metrics")
+    if args.history_dir is not None:
+        print(f"  GET {service.server.url}/v1/history/citywide")
+        print(f"  GET {service.server.url}/v1/history/patterns")
+        print(f"  (history segments in {args.history_dir})")
     speed = service_config.speedup
     print(
         f"replaying at {'maximum' if speed is None else f'{speed:g}x'} "
@@ -541,7 +588,8 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
         return 2
     try:
         spans = load_spans(path)
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
+        # OSError covers a corrupt .gz stream.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if not spans:
@@ -552,6 +600,220 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     print()
     print(format_summary(summarize_spans(spans)))
     return 0
+
+
+def cmd_history_compact(args: argparse.Namespace) -> int:
+    """Roll the day segments of a history directory into the weekly
+    aggregate (same pass the in-service compactor runs periodically)."""
+    from repro.history import SegmentStore, compact_store
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(
+            f"error: history directory not found: {directory}\n"
+            "hint: produce one with 'taxiqueue serve --history-dir "
+            f"{directory}'",
+            file=sys.stderr,
+        )
+        return 2
+    store = SegmentStore(directory)
+    aggregate = compact_store(store)
+    print(
+        f"compacted {len(aggregate['days'])} day segments into "
+        f"{store.aggregate_path}"
+    )
+    for day, reason in sorted(store.corrupt_days.items()):
+        print(f"  skipped corrupt day {day}: {reason}", file=sys.stderr)
+    return 1 if store.corrupt_days else 0
+
+
+def _history_engine_for(path: Path, stack):
+    """A query engine over ``path`` — a history directory, or a
+    JSONL(.gz) dump from ``history export`` (reconstructed into a
+    temporary segment store registered on ``stack``)."""
+    import tempfile
+
+    from repro.core.types import QueueSpot, QueueType
+    from repro.history import (
+        DaySegment,
+        HistoryQueryEngine,
+        SegmentStore,
+        SlotRecord,
+    )
+    from repro.obs.export import open_text
+
+    if path.is_dir():
+        return HistoryQueryEngine(SegmentStore(path))
+
+    days: dict = {}
+    with open_text(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            kind = entry.get("kind")
+            if kind == "day":
+                days[entry["day"]] = {
+                    "day_of_week": entry["day_of_week"],
+                    "slot_seconds": entry["slot_seconds"],
+                    "spots": [],
+                    "records": [],
+                }
+            elif kind == "spot":
+                days[entry["day"]]["spots"].append(
+                    QueueSpot(
+                        spot_id=entry["spot_id"],
+                        lon=entry["lon"],
+                        lat=entry["lat"],
+                        zone=entry["zone"],
+                        pickup_count=entry["pickup_count"],
+                        radius_m=entry["radius_m"],
+                    )
+                )
+            elif kind == "slot":
+                days[entry["day"]]["records"].append(
+                    SlotRecord(
+                        spot_id=entry["spot_id"],
+                        slot=entry["slot"],
+                        label=QueueType(entry["label"]),
+                        routine=entry["routine"],
+                        mean_wait_s=entry["mean_wait_s"],
+                        n_arrivals=entry["n_arrivals"],
+                        queue_length=entry["queue_length"],
+                        mean_departure_interval_s=(
+                            entry["mean_departure_interval_s"]
+                        ),
+                        n_departures=entry["n_departures"],
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"line {lineno}: unknown dump line kind {kind!r}"
+                )
+    tmp = stack.enter_context(
+        tempfile.TemporaryDirectory(prefix="taxiqueue-history-")
+    )
+    store = SegmentStore(tmp)
+    for day, parts in sorted(days.items()):
+        store.write_day(
+            DaySegment(
+                day=day,
+                day_of_week=parts["day_of_week"],
+                slot_seconds=parts["slot_seconds"],
+                spots=parts["spots"],
+                records=parts["records"],
+            )
+        )
+    return HistoryQueryEngine(store)
+
+
+def cmd_history_query(args: argparse.Namespace) -> int:
+    """Query a history directory (or an exported dump) offline: the
+    same payloads the ``/v1/history/*`` endpoints serve, as JSON."""
+    from contextlib import ExitStack
+
+    from repro.history import QueryError
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such history path: {path}", file=sys.stderr)
+        return 2
+    with ExitStack() as stack:
+        try:
+            engine = _history_engine_for(path, stack)
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            return 1
+        try:
+            if args.spot is not None:
+                if args.profile:
+                    payload = engine.spot_profile(args.spot)
+                else:
+                    payload = engine.spot_history(
+                        args.spot,
+                        start_day=args.start_day,
+                        end_day=args.end_day,
+                        page=args.page,
+                        per_page=args.per_page,
+                        downsample=args.downsample,
+                    )
+                if payload is None:
+                    print(
+                        f"error: spot {args.spot!r} unknown to the history",
+                        file=sys.stderr,
+                    )
+                    return 1
+            elif args.citywide:
+                payload = engine.citywide(
+                    start_day=args.start_day, end_day=args.end_day
+                )
+            else:
+                payload = engine.patterns()
+        except QueryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_history_export(args: argparse.Namespace) -> int:
+    """Dump a history directory as JSONL(.gz) — one ``day`` line per
+    segment followed by its ``spot`` and ``slot`` lines."""
+    from repro.history import SegmentStore
+    from repro.obs.export import open_text
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(
+            f"error: history directory not found: {directory}",
+            file=sys.stderr,
+        )
+        return 2
+    store = SegmentStore(directory)
+    segments = store.read_all()
+    days = written = 0
+    with open_text(args.output, "wt") as fh:
+        for segment in segments:
+            fh.write(json.dumps({
+                "kind": "day",
+                "day": segment.day,
+                "day_of_week": segment.day_of_week,
+                "slot_seconds": segment.slot_seconds,
+            }, sort_keys=True) + "\n")
+            for spot in segment.spots:
+                fh.write(json.dumps({
+                    "kind": "spot",
+                    "day": segment.day,
+                    "spot_id": spot.spot_id,
+                    "lon": spot.lon,
+                    "lat": spot.lat,
+                    "zone": spot.zone,
+                    "pickup_count": spot.pickup_count,
+                    "radius_m": spot.radius_m,
+                }, sort_keys=True) + "\n")
+            for record in segment.records:
+                fh.write(json.dumps({
+                    "kind": "slot",
+                    "day": segment.day,
+                    "spot_id": record.spot_id,
+                    "slot": record.slot,
+                    "label": record.label.value,
+                    "routine": record.routine,
+                    "mean_wait_s": record.mean_wait_s,
+                    "n_arrivals": record.n_arrivals,
+                    "queue_length": record.queue_length,
+                    "mean_departure_interval_s": (
+                        record.mean_departure_interval_s
+                    ),
+                    "n_departures": record.n_departures,
+                }, sort_keys=True) + "\n")
+                written += 1
+            days += 1
+    print(f"exported {days} days ({written} slot records) to {args.output}")
+    for day, reason in sorted(store.corrupt_days.items()):
+        print(f"  skipped corrupt day {day}: {reason}", file=sys.stderr)
+    return 1 if store.corrupt_days else 0
 
 
 def _bbox_from_args(args: argparse.Namespace, store: MdtLogStore) -> BBox:
@@ -675,6 +937,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="watchdog staleness threshold in wall seconds (surfaced at "
         "/v1/healthz and /v1/metrics)",
     )
+    p_srv.add_argument(
+        "--history-dir", default=None,
+        help="directory for durable day segments of finalized slot "
+        "results; enables the /v1/history/* endpoints and the history "
+        "CLI (see docs/history.md)",
+    )
+    p_srv.add_argument(
+        "--history-day", type=int, default=None, choices=range(7),
+        metavar="0..6",
+        help="day of week (0=Mon..6=Sun) of the stream's first day in "
+        "the history; defaults to the calendar weekday of the epoch day",
+    )
+    p_srv.add_argument(
+        "--history-compact-interval", type=float, default=300.0,
+        help="seconds between background week-level compaction passes "
+        "(default %(default)s)",
+    )
     _add_trace_args(p_srv)
     p_srv.set_defaults(func=cmd_serve)
 
@@ -706,6 +985,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sum.add_argument("file", help="JSONL trace file (from --trace-out)")
     p_sum.set_defaults(func=cmd_trace_summarize)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="maintain and query the durable multi-day history "
+        "(see docs/history.md)",
+    )
+    hist_sub = p_hist.add_subparsers(dest="history_command", required=True)
+    p_hc = hist_sub.add_parser(
+        "compact",
+        help="roll day segments into the weekly pattern aggregate",
+    )
+    p_hc.add_argument("dir", help="history directory (from serve --history-dir)")
+    p_hc.set_defaults(func=cmd_history_compact)
+    p_hq = hist_sub.add_parser(
+        "query",
+        help="query a history directory or an exported JSONL(.gz) dump",
+    )
+    p_hq.add_argument(
+        "path",
+        help="history directory, or a JSONL(.gz) dump from "
+        "'taxiqueue history export'",
+    )
+    p_hq.add_argument(
+        "--spot", default=None,
+        help="one spot's slot records (default: the pattern summary)",
+    )
+    p_hq.add_argument(
+        "--profile", action="store_true",
+        help="with --spot: its day-of-week × slot profile instead of "
+        "raw records",
+    )
+    p_hq.add_argument(
+        "--citywide", action="store_true",
+        help="per-day citywide summaries instead of the pattern summary",
+    )
+    p_hq.add_argument("--start-day", type=int, default=None,
+                      help="first epoch day (inclusive)")
+    p_hq.add_argument("--end-day", type=int, default=None,
+                      help="last epoch day (inclusive)")
+    p_hq.add_argument("--page", type=int, default=1,
+                      help="page of --spot records (default 1)")
+    p_hq.add_argument("--per-page", type=int, default=200,
+                      help="records per page (default 200)")
+    p_hq.add_argument(
+        "--downsample", type=int, default=1, metavar="K",
+        help="fold K consecutive slots into one item (default 1: none)",
+    )
+    p_hq.set_defaults(func=cmd_history_query)
+    p_he = hist_sub.add_parser(
+        "export",
+        help="dump a history directory as JSONL (gzip when the output "
+        "ends .gz)",
+    )
+    p_he.add_argument("dir", help="history directory")
+    p_he.add_argument(
+        "--output", default="history.jsonl",
+        help="JSONL output path; a .gz suffix writes gzip "
+        "(default %(default)s)",
+    )
+    p_he.set_defaults(func=cmd_history_export)
     return parser
 
 

@@ -1,0 +1,54 @@
+"""Durable multi-day queue history: segment store, compactor, queries.
+
+The package turns the streaming monitor's transient slot finalizations
+into a durable, queryable record:
+
+* :mod:`repro.history.format` — the binary day-segment codec (packed
+  records, JSON header, SHA-256 footer, atomic writes);
+* :mod:`repro.history.segments` — :class:`SegmentStore`, one directory
+  of ``day-*.seg`` files plus the weekly aggregate;
+* :mod:`repro.history.writer` — :class:`HistoryWriter`, subscribed to
+  slot finalization and checkpointed for exactly-once capture;
+* :mod:`repro.history.compact` — :class:`HistoryCompactor` /
+  :func:`compact_store`, crash-safe week-level rollups;
+* :mod:`repro.history.query` — :class:`HistoryQueryEngine`, the
+  time-range / citywide / pattern queries behind ``/v1/history/*``.
+"""
+
+from repro.history.compact import (
+    HistoryCompactor,
+    compact_store,
+    empty_aggregate,
+    fold_segment,
+    fold_segments,
+)
+from repro.history.format import (
+    SegmentFormatError,
+    SlotRecord,
+    day_of_week_of,
+    decode_segment,
+    encode_segment,
+    write_bytes_atomic,
+)
+from repro.history.query import HistoryQueryEngine, QueryError
+from repro.history.segments import DaySegment, SegmentStore
+from repro.history.writer import HistoryWriter
+
+__all__ = [
+    "DaySegment",
+    "HistoryCompactor",
+    "HistoryQueryEngine",
+    "HistoryWriter",
+    "QueryError",
+    "SegmentFormatError",
+    "SegmentStore",
+    "SlotRecord",
+    "compact_store",
+    "day_of_week_of",
+    "decode_segment",
+    "empty_aggregate",
+    "encode_segment",
+    "fold_segment",
+    "fold_segments",
+    "write_bytes_atomic",
+]

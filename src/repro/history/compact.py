@@ -1,0 +1,199 @@
+"""Week-level compaction of day segments.
+
+The compactor rolls the day segments into one **weekly aggregate** —
+the paper's section-6 pattern numbers, kept hot so the pattern query
+never has to rescan a month of segments:
+
+* per-spot day-of-week × slot label-count profiles (the "what does
+  this spot look like on Fridays at 18:00?" lookup);
+* per-zone detected-spot counts per day of week (Fig. 8);
+* C1–C4 queue-type label distributions per day of week (Fig. 9).
+
+**Crash safety.**  The aggregate is *recomputed from scratch* from all
+intact day segments and written atomically to a single fixed name
+(``weekly.agg``, temp + fsync + rename).  Day segments are never
+mutated or deleted, so a kill at any instruction leaves either the old
+or the new aggregate on disk, both intact; re-running compaction is
+idempotent.  No segment can be lost and no record double-counted.
+
+**Merge equality.**  Every aggregated quantity is an integer count
+folded in ascending day order, so
+``aggregate(all days) == fold(aggregate(some days), remaining days)``
+holds *exactly* — the pattern query (:mod:`repro.history.query`) relies
+on this to produce byte-identical output whether compaction has run
+never, partially, or fully.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from typing import Dict, List, Optional
+
+from repro.history.segments import DaySegment, SegmentStore
+from repro.service.metrics import MetricsRegistry
+
+
+def empty_aggregate() -> dict:
+    """A zero-day aggregate (all JSON keys are strings so an aggregate
+    round-trips through its on-disk JSON encoding unchanged)."""
+    return {
+        "days": [],
+        "day_footers": {},       # day -> segment SHA footer when folded
+        "dow_days": {},          # dow -> number of days folded
+        "zone_spots": {},        # zone -> dow -> summed spot count
+        "type_counts": {},       # dow -> label value -> slot-record count
+        "spot_profiles": {},     # spot -> dow -> slot -> label -> count
+        "spot_meta": {},         # spot -> {day, zone, lon, lat}
+    }
+
+
+def fold_segment(aggregate: dict, segment: DaySegment) -> dict:
+    """Fold one day into the aggregate (in place; returns it).
+
+    Folding the same day twice would double-count, so callers fold each
+    day at most once, in ascending day order; :func:`fold_segments`
+    and the query engine both enforce this via ``days``.
+    """
+    dow = str(segment.day_of_week)
+    aggregate["days"].append(segment.day)
+    if segment.footer is not None:
+        aggregate["day_footers"][str(segment.day)] = segment.footer
+    aggregate["dow_days"][dow] = aggregate["dow_days"].get(dow, 0) + 1
+    zone_spots = aggregate["zone_spots"]
+    meta = aggregate["spot_meta"]
+    for spot in segment.spots:
+        per_dow = zone_spots.setdefault(spot.zone, {})
+        per_dow[dow] = per_dow.get(dow, 0) + 1
+        # Newest-day wins, independent of fold order, so merging an
+        # aggregate with later segments equals a from-scratch fold.
+        known = meta.get(spot.spot_id)
+        if known is None or segment.day >= known["day"]:
+            meta[spot.spot_id] = {
+                "day": segment.day,
+                "zone": spot.zone,
+                "lon": spot.lon,
+                "lat": spot.lat,
+            }
+    type_counts = aggregate["type_counts"].setdefault(dow, {})
+    profiles = aggregate["spot_profiles"]
+    for record in segment.records:
+        label = record.label.value
+        type_counts[label] = type_counts.get(label, 0) + 1
+        slot_counts = (
+            profiles.setdefault(record.spot_id, {})
+            .setdefault(dow, {})
+            .setdefault(str(record.slot), {})
+        )
+        slot_counts[label] = slot_counts.get(label, 0) + 1
+    return aggregate
+
+
+def fold_segments(
+    aggregate: dict, segments: List[DaySegment]
+) -> dict:
+    """Fold every not-yet-included segment, ascending by day."""
+    included = set(aggregate["days"])
+    for segment in sorted(segments, key=lambda s: s.day):
+        if segment.day not in included:
+            fold_segment(aggregate, segment)
+            included.add(segment.day)
+    return aggregate
+
+
+def compact_store(
+    store: SegmentStore,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer=None,
+) -> dict:
+    """Recompute and persist the weekly aggregate from all intact day
+    segments; returns the written aggregate.
+
+    Corrupt segments are skipped (and accounted by the store); they
+    simply contribute nothing until repaired or rewritten.
+    """
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER as tracer
+    timer = (
+        metrics.time("history.compaction_seconds")
+        if metrics is not None
+        else nullcontext()
+    )
+    with tracer.span("history.compact") as span, timer:
+        segments = store.read_all()
+        aggregate = fold_segments(empty_aggregate(), segments)
+        store.write_aggregate(aggregate)
+        span.set(days=len(aggregate["days"]))
+        if metrics is not None:
+            metrics.counter("history.compactions").inc()
+            metrics.gauge("history.compacted_days").set(
+                len(aggregate["days"])
+            )
+    return aggregate
+
+
+class HistoryCompactor:
+    """Background thread compacting the store on a fixed interval.
+
+    Args:
+        store: the segment store to compact.
+        interval_s: seconds between compaction passes.
+        metrics: optional registry (``history.compaction_seconds``
+            histogram, ``history.compactions`` counter).
+        tracer: optional tracer (``history.compact`` spans).
+    """
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        interval_s: float = 300.0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("compaction interval must be positive")
+        self.store = store
+        self.interval_s = float(interval_s)
+        self.metrics = metrics
+        self.tracer = tracer
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def compact_once(self) -> dict:
+        """One synchronous compaction pass."""
+        return compact_store(
+            self.store, metrics=self.metrics, tracer=self.tracer
+        )
+
+    def start(self) -> None:
+        """Compact every ``interval_s`` in a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="history-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.compact_once()
+            except Exception:
+                # A failed pass (disk full, transient IO error) must not
+                # kill the thread; the next interval retries and the
+                # query path keeps folding segments directly meanwhile.
+                if self.metrics is not None:
+                    self.metrics.counter("history.compaction_errors").inc()
+
+    def stop(self, final_pass: bool = True) -> None:
+        """Stop the thread; optionally run one last pass so the
+        aggregate covers everything written before shutdown."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if final_pass:
+            try:
+                self.compact_once()
+            except Exception:  # pragma: no cover - shutdown best effort
+                pass

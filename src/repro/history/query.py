@@ -1,0 +1,451 @@
+"""Online queries over the durable history.
+
+:class:`HistoryQueryEngine` answers the three serving-layer questions
+from the segment store:
+
+* ``spot_history`` — one spot's finalized slot records across a day
+  range, with pagination and slot downsampling
+  (``GET /v1/spots/{id}/history``);
+* ``citywide`` — per-day citywide summaries: spot/zone counts and
+  queue-type proportions (``GET /v1/history/citywide``);
+* ``patterns`` — the week-level section-6 numbers: per-zone spot
+  counts and C1–C4 mixes per day of week, plus per-spot day-of-week ×
+  slot profiles (``GET /v1/history/patterns``).
+
+**Pattern determinism.**  ``patterns`` starts from the compactor's
+``weekly.agg`` when its per-day SHA footers still match the segments on
+disk, folds the not-yet-compacted days on top, and falls back to a
+from-scratch fold when the aggregate is stale or absent.  Every
+aggregated quantity is an integer count, so all three paths produce
+*byte-identical* JSON — compaction timing (never ran, ran mid-day,
+ran after a crash) can never change a query answer.
+
+Payload values derived from floats are rounded to 6 decimals, matching
+the live ``/v1/citywide`` endpoint.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
+
+from repro.history.compact import empty_aggregate, fold_segment
+from repro.history.format import SlotRecord
+from repro.history.segments import DaySegment, SegmentStore
+from repro.service.metrics import MetricsRegistry
+
+#: Mon..Sun, index 0..6 (kept local so the history package does not
+#: depend on the simulator).
+DOW_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+#: Pagination bounds of the spot-history endpoint.
+DEFAULT_PER_PAGE = 200
+MAX_PER_PAGE = 1000
+
+
+class QueryError(ValueError):
+    """A query carried invalid parameters (HTTP 400)."""
+
+
+def _slot_time_label(slot: int, slot_seconds: float) -> str:
+    """``HH:MM-HH:MM`` of a slot within its day."""
+    def fmt(seconds: float) -> str:
+        total = int(seconds) % 86400
+        return f"{total // 3600:02d}:{(total % 3600) // 60:02d}"
+
+    lo = slot * slot_seconds
+    return f"{fmt(lo)}-{fmt(lo + slot_seconds)}"
+
+
+def _round6(value: float) -> float:
+    return round(value, 6)
+
+
+class HistoryQueryEngine:
+    """Query facade over a :class:`SegmentStore`.
+
+    Args:
+        store: the segment store (shared with the live writer).
+        metrics: optional registry (``history.query_seconds``
+            latency histogram, ``history.queries`` counter).
+        tracer: optional tracer; each query runs under a
+            ``history.query`` span.
+    """
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ):
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER as tracer
+        self.store = store
+        self.tracer = tracer
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._cache_version = -1
+        self._segment_cache: Dict[int, DaySegment] = {}
+
+    # -- shared plumbing ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The store's write version (history ETag component)."""
+        return self.store.version
+
+    def _observe(self, kind: str):
+        if self._metrics is not None:
+            self._metrics.counter("history.queries").inc()
+            timer = self._metrics.time("history.query_seconds")
+        else:
+            timer = nullcontext()
+        return timer
+
+    def _segment(self, day: int) -> Optional[DaySegment]:
+        """Read-through segment cache, invalidated on store writes."""
+        version = self.store.version
+        with self._lock:
+            if version != self._cache_version:
+                self._segment_cache.clear()
+                self._cache_version = version
+            if day in self._segment_cache:
+                return self._segment_cache[day]
+        segment = self.store.read_day(day)
+        if segment is not None:
+            with self._lock:
+                if self._cache_version == version:
+                    self._segment_cache[day] = segment
+        return segment
+
+    def _segments_in(
+        self, start_day: Optional[int], end_day: Optional[int]
+    ) -> List[DaySegment]:
+        out = []
+        for day in self.store.days():
+            if start_day is not None and day < start_day:
+                continue
+            if end_day is not None and day > end_day:
+                continue
+            segment = self._segment(day)
+            if segment is not None:
+                out.append(segment)
+        return out
+
+    # -- spot history ------------------------------------------------------------
+
+    def spot_history(
+        self,
+        spot_id: str,
+        start_day: Optional[int] = None,
+        end_day: Optional[int] = None,
+        page: int = 1,
+        per_page: int = DEFAULT_PER_PAGE,
+        downsample: int = 1,
+    ) -> Optional[dict]:
+        """One spot's slot records over a day range, paginated.
+
+        ``downsample=k`` folds each run of ``k`` consecutive slots
+        (within one day) into a single item carrying the majority label
+        (earliest-slot wins ties) and count-weighted mean features.
+
+        Returns None for a spot id the history has never seen (404).
+
+        Raises:
+            QueryError: for invalid pagination/downsampling parameters.
+        """
+        if page < 1:
+            raise QueryError("page must be >= 1")
+        if not 1 <= per_page <= MAX_PER_PAGE:
+            raise QueryError(f"per_page must be in 1..{MAX_PER_PAGE}")
+        if downsample < 1:
+            raise QueryError("downsample must be >= 1")
+        with self.tracer.span(
+            "history.query", endpoint="spot_history", spot=spot_id
+        ), self._observe("spot_history"):
+            items: List[dict] = []
+            meta: Optional[dict] = None
+            for segment in self._segments_in(start_day, end_day):
+                for spot in segment.spots:
+                    if spot.spot_id == spot_id:
+                        meta = {
+                            "zone": spot.zone,
+                            "lon": spot.lon,
+                            "lat": spot.lat,
+                        }
+                records = [
+                    r for r in segment.records if r.spot_id == spot_id
+                ]
+                if not records:
+                    continue
+                records.sort(key=lambda r: r.slot)
+                if downsample == 1:
+                    items.extend(
+                        self._record_item(segment, record)
+                        for record in records
+                    )
+                else:
+                    items.extend(
+                        self._downsampled_items(
+                            segment, records, downsample
+                        )
+                    )
+            if meta is None and not items:
+                return None
+            total = len(items)
+            lo = (page - 1) * per_page
+            return {
+                "spot_id": spot_id,
+                "spot": meta,
+                "total_items": total,
+                "page": page,
+                "per_page": per_page,
+                "downsample": downsample,
+                "items": items[lo: lo + per_page],
+            }
+
+    @staticmethod
+    def _record_item(segment: DaySegment, record: SlotRecord) -> dict:
+        return {
+            "day": segment.day,
+            "day_of_week": DOW_NAMES[segment.day_of_week],
+            "slot": record.slot,
+            "time": _slot_time_label(record.slot, segment.slot_seconds),
+            "queue_type": record.label.value,
+            "routine": record.routine,
+            "mean_wait_s": (
+                None
+                if record.mean_wait_s is None
+                else _round6(record.mean_wait_s)
+            ),
+            "n_arrivals": _round6(record.n_arrivals),
+            "queue_length": _round6(record.queue_length),
+            "mean_departure_interval_s": _round6(
+                record.mean_departure_interval_s
+            ),
+            "n_departures": _round6(record.n_departures),
+        }
+
+    @staticmethod
+    def _downsampled_items(
+        segment: DaySegment, records: List[SlotRecord], k: int
+    ) -> List[dict]:
+        items = []
+        for start in range(0, len(records), k):
+            group = records[start: start + k]
+            label_counts: Dict[str, int] = {}
+            for record in group:
+                value = record.label.value
+                label_counts[value] = label_counts.get(value, 0) + 1
+            best = max(
+                label_counts.items(),
+                key=lambda kv: (kv[1], -_first_slot(group, kv[0])),
+            )[0]
+            waits = [
+                r.mean_wait_s for r in group if r.mean_wait_s is not None
+            ]
+            n = len(group)
+            items.append(
+                {
+                    "day": segment.day,
+                    "day_of_week": DOW_NAMES[segment.day_of_week],
+                    "slot": group[0].slot,
+                    "slots": n,
+                    "time": "-".join(
+                        (
+                            _slot_time_label(
+                                group[0].slot, segment.slot_seconds
+                            ).split("-")[0],
+                            _slot_time_label(
+                                group[-1].slot, segment.slot_seconds
+                            ).split("-")[1],
+                        )
+                    ),
+                    "queue_type": best,
+                    "mean_wait_s": (
+                        _round6(sum(waits) / len(waits)) if waits else None
+                    ),
+                    "n_arrivals": _round6(
+                        sum(r.n_arrivals for r in group) / n
+                    ),
+                    "queue_length": _round6(
+                        sum(r.queue_length for r in group) / n
+                    ),
+                    "mean_departure_interval_s": _round6(
+                        sum(r.mean_departure_interval_s for r in group) / n
+                    ),
+                    "n_departures": _round6(
+                        sum(r.n_departures for r in group) / n
+                    ),
+                }
+            )
+        return items
+
+    # -- citywide ----------------------------------------------------------------
+
+    def citywide(
+        self,
+        start_day: Optional[int] = None,
+        end_day: Optional[int] = None,
+    ) -> dict:
+        """Per-day citywide summary over a day range."""
+        with self.tracer.span(
+            "history.query", endpoint="citywide"
+        ), self._observe("citywide"):
+            days = []
+            for segment in self._segments_in(start_day, end_day):
+                zone_counts: Dict[str, int] = {}
+                for spot in segment.spots:
+                    zone_counts[spot.zone] = (
+                        zone_counts.get(spot.zone, 0) + 1
+                    )
+                label_counts: Dict[str, int] = {}
+                for record in segment.records:
+                    value = record.label.value
+                    label_counts[value] = label_counts.get(value, 0) + 1
+                total = sum(label_counts.values())
+                days.append(
+                    {
+                        "day": segment.day,
+                        "day_of_week": DOW_NAMES[segment.day_of_week],
+                        "spots": len(segment.spots),
+                        "zone_counts": zone_counts,
+                        "finalized_slot_results": total,
+                        "proportions": {
+                            label: _round6(count / total)
+                            for label, count in sorted(
+                                label_counts.items()
+                            )
+                        }
+                        if total
+                        else {},
+                    }
+                )
+            return {
+                "days": days,
+                "count": len(days),
+                "corrupt_days": sorted(self.store.corrupt_days),
+            }
+
+    # -- patterns ----------------------------------------------------------------
+
+    def _fresh_aggregate(self) -> dict:
+        """The weekly aggregate, guaranteed current.
+
+        Starts from the compacted ``weekly.agg`` when every folded
+        day's SHA footer still matches its segment file, then folds the
+        remaining days; otherwise folds everything from scratch.  Both
+        paths produce identical integer counts (see module docstring).
+        """
+        days_on_disk = self.store.days()
+        aggregate = self.store.read_aggregate()
+        if aggregate is not None:
+            footers = aggregate.get("day_footers", {})
+            for day in aggregate.get("days", ()):
+                on_disk = self.store.read_footer(day)
+                if on_disk is not None and on_disk != footers.get(str(day)):
+                    aggregate = None  # stale: a folded day was rewritten
+                    break
+        if aggregate is None:
+            aggregate = empty_aggregate()
+        else:
+            aggregate = copy.deepcopy(aggregate)
+        included = set(aggregate["days"])
+        for day in days_on_disk:
+            if day in included:
+                continue
+            segment = self._segment(day)
+            if segment is not None:
+                fold_segment(aggregate, segment)
+        return aggregate
+
+    def patterns(self) -> dict:
+        """The section-6 pattern numbers over all recorded days."""
+        with self.tracer.span(
+            "history.query", endpoint="patterns"
+        ), self._observe("patterns"):
+            aggregate = self._fresh_aggregate()
+            dow_days: Dict[str, int] = aggregate["dow_days"]
+
+            zone_spots = {}
+            for zone, per_dow in sorted(aggregate["zone_spots"].items()):
+                zone_spots[zone] = {
+                    DOW_NAMES[int(dow)]: {
+                        "days": dow_days.get(dow, 0),
+                        "total_spots": count,
+                        "mean_spots": _round6(
+                            count / dow_days[dow]
+                        )
+                        if dow_days.get(dow)
+                        else 0.0,
+                    }
+                    for dow, count in sorted(per_dow.items())
+                }
+
+            type_mix = {}
+            for dow, counts in sorted(aggregate["type_counts"].items()):
+                total = sum(counts.values())
+                type_mix[DOW_NAMES[int(dow)]] = {
+                    "finalized_slot_results": total,
+                    "proportions": {
+                        label: _round6(count / total)
+                        for label, count in sorted(counts.items())
+                    }
+                    if total
+                    else {},
+                }
+
+            return {
+                "days": sorted(aggregate["days"]),
+                "day_count": len(aggregate["days"]),
+                "spot_count": len(aggregate["spot_meta"]),
+                "zone_spots": zone_spots,
+                "queue_type_mix": type_mix,
+                "corrupt_days": sorted(self.store.corrupt_days),
+            }
+
+    def spot_profile(self, spot_id: str) -> Optional[dict]:
+        """One spot's day-of-week × slot label profile, or None for an
+        unknown spot (the ``view=profile`` mode of the spot-history
+        endpoint and of ``taxiqueue history query --spot``)."""
+        with self.tracer.span(
+            "history.query", endpoint="spot_profile", spot=spot_id
+        ), self._observe("spot_profile"):
+            aggregate = self._fresh_aggregate()
+            profile = aggregate["spot_profiles"].get(spot_id)
+            meta = aggregate["spot_meta"].get(spot_id)
+            if profile is None and meta is None:
+                return None
+            by_dow = {}
+            for dow, slots in sorted((profile or {}).items()):
+                by_dow[DOW_NAMES[int(dow)]] = {
+                    slot: {
+                        "counts": dict(sorted(counts.items())),
+                        "majority": max(
+                            sorted(counts.items()),
+                            key=lambda kv: kv[1],
+                        )[0],
+                    }
+                    for slot, counts in sorted(
+                        slots.items(), key=lambda kv: int(kv[0])
+                    )
+                }
+            return {
+                "spot_id": spot_id,
+                "spot": (
+                    {k: v for k, v in meta.items() if k != "day"}
+                    if meta
+                    else None
+                ),
+                "profile": by_dow,
+            }
+
+
+def _first_slot(group: List[SlotRecord], label_value: str) -> int:
+    """The earliest slot carrying ``label_value`` (tie-break helper)."""
+    for record in group:
+        if record.label.value == label_value:
+            return record.slot
+    return -1  # pragma: no cover - label always present in group

@@ -1,0 +1,221 @@
+"""The durable day-segment store.
+
+A :class:`SegmentStore` owns one directory of ``day-<epochday>.seg``
+files (see :mod:`repro.history.format` for the binary layout) plus the
+compactor's ``weekly.agg`` aggregate.  All writes are atomic, all reads
+verify the embedded SHA-256 footer, and a corrupt segment is *skipped
+with accounting* (``history.corrupt_segments`` counter plus the
+:attr:`corrupt_days` listing) rather than raised through a query path —
+the same degrade-don't-die posture as the checkpoint manager.
+
+The store keeps an in-process **version** that increments on every
+segment write; the HTTP layer uses it as the history ETag and the query
+engine as its read-cache key.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import QueueSpot
+from repro.history.format import (
+    AGGREGATE_MAGIC,
+    SegmentFormatError,
+    SlotRecord,
+    decode_json_payload,
+    decode_segment,
+    encode_json_payload,
+    encode_segment,
+    write_bytes_atomic,
+)
+from repro.service.metrics import MetricsRegistry
+
+_SEGMENT_RE = re.compile(r"^day-(\d+)\.seg$")
+
+#: The compactor's single output file (atomic replace keeps exactly one
+#: intact generation at any kill point).
+AGGREGATE_NAME = "weekly.agg"
+
+
+@dataclass
+class DaySegment:
+    """One day of history: its spot table plus finalized slot records."""
+
+    day: int
+    """Unix epoch-day number (``ts // 86400``)."""
+    day_of_week: int
+    """0=Mon..6=Sun (declared by the writer, not re-derived)."""
+    slot_seconds: float
+    spots: List[QueueSpot] = field(default_factory=list)
+    records: List[SlotRecord] = field(default_factory=list)
+    footer: Optional[str] = None
+    """The on-disk SHA-256 footer (set when loaded from a file); the
+    compactor stores it per folded day so the query engine can detect a
+    stale aggregate without re-reading whole segments."""
+
+    @property
+    def day_start_ts(self) -> float:
+        return self.day * 86400.0
+
+
+class SegmentStore:
+    """Durable multi-day history in one directory.
+
+    Args:
+        directory: where segments live (created if missing).
+        metrics: optional registry; the store maintains the
+            ``history.segments_written`` / ``history.records_written`` /
+            ``history.corrupt_segments`` counters and the
+            ``history.segment_bytes`` gauge (total intact segment
+            bytes on disk).
+    """
+
+    def __init__(
+        self,
+        directory,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._version = 0
+        self.corrupt_days: Dict[int, str] = {}
+        """Day -> reason of every corrupt segment seen by this store."""
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Bumped on every in-process segment write (history ETag)."""
+        with self._lock:
+            return self._version
+
+    def path_of(self, day: int) -> Path:
+        return self.directory / f"day-{int(day)}.seg"
+
+    @property
+    def aggregate_path(self) -> Path:
+        return self.directory / AGGREGATE_NAME
+
+    def days(self) -> List[int]:
+        """Every day with a segment file on disk, ascending."""
+        out = []
+        for path in self.directory.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    # -- segments ----------------------------------------------------------------
+
+    def write_day(self, segment: DaySegment) -> Path:
+        """Persist one day segment atomically; bumps the version."""
+        data = encode_segment(
+            day=segment.day,
+            day_of_week=segment.day_of_week,
+            slot_seconds=segment.slot_seconds,
+            spots=segment.spots,
+            records=segment.records,
+        )
+        path = write_bytes_atomic(self.path_of(segment.day), data)
+        with self._lock:
+            self._version += 1
+        if self._metrics is not None:
+            self._metrics.counter("history.segments_written").inc()
+            self._metrics.counter("history.records_written").inc(
+                len(segment.records)
+            )
+            self._metrics.gauge("history.segment_bytes").set(
+                self.total_bytes()
+            )
+        return path
+
+    def read_day(self, day: int) -> Optional[DaySegment]:
+        """Load one day, or None when missing or corrupt (accounted)."""
+        path = self.path_of(day)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            header, spots, records = decode_segment(raw)
+        except SegmentFormatError as exc:
+            self._account_corrupt(day, str(exc))
+            return None
+        return DaySegment(
+            day=header["day"],
+            day_of_week=header["day_of_week"],
+            slot_seconds=header["slot_seconds"],
+            spots=spots,
+            records=records,
+            footer=raw[-64:].decode("ascii", errors="replace"),
+        )
+
+    def read_footer(self, day: int) -> Optional[str]:
+        """Just the 64-char SHA-256 footer of a day's segment file, or
+        None when the file is missing or too short.  Reads 64 bytes —
+        the staleness probe of the pattern query."""
+        try:
+            with open(self.path_of(day), "rb") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size < 64:
+                    return None
+                handle.seek(size - 64)
+                return handle.read(64).decode("ascii", errors="replace")
+        except OSError:
+            return None
+
+    def read_all(self) -> List[DaySegment]:
+        """Every intact day segment, ascending by day."""
+        out = []
+        for day in self.days():
+            segment = self.read_day(day)
+            if segment is not None:
+                out.append(segment)
+        return out
+
+    def total_bytes(self) -> int:
+        """Total on-disk bytes of all segment files."""
+        total = 0
+        for day in self.days():
+            try:
+                total += self.path_of(day).stat().st_size
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+        return total
+
+    def _account_corrupt(self, day: int, reason: str) -> None:
+        with self._lock:
+            fresh = day not in self.corrupt_days
+            self.corrupt_days[day] = reason
+        if fresh and self._metrics is not None:
+            self._metrics.counter("history.corrupt_segments").inc()
+
+    # -- aggregate ---------------------------------------------------------------
+
+    def write_aggregate(self, payload: dict) -> Path:
+        """Persist the compactor's weekly aggregate atomically."""
+        return write_bytes_atomic(
+            self.aggregate_path,
+            encode_json_payload(AGGREGATE_MAGIC, payload),
+        )
+
+    def read_aggregate(self) -> Optional[dict]:
+        """The intact weekly aggregate, or None (missing or corrupt —
+        the query path then folds day segments directly)."""
+        try:
+            raw = self.aggregate_path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_json_payload(raw, AGGREGATE_MAGIC)
+        except SegmentFormatError:
+            if self._metrics is not None:
+                self._metrics.counter("history.corrupt_aggregates").inc()
+            return None

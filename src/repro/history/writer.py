@@ -1,0 +1,179 @@
+"""Durable capture of slot finalization into day segments.
+
+:class:`HistoryWriter` is the bridge between the live monitor and the
+:class:`~repro.history.segments.SegmentStore`: subscribed to
+:meth:`StreamingQueueMonitor.subscribe`, it converts every finalized
+:class:`~repro.stream.SlotResult` batch into
+:class:`~repro.history.format.SlotRecord` rows bucketed per calendar
+day, and rewrites each touched day's segment atomically after the
+batch.  Because a segment is always re-emitted from the writer's full
+in-memory day state (never appended to in place), the bytes on disk
+are a pure function of the records absorbed so far — which is what
+makes crash recovery exact:
+
+* the writer's state is part of the
+  :class:`~repro.resilience.ServiceCheckpointer` payload (the
+  ``history`` slice), captured at the same record boundary as the
+  monitor and the snapshot store;
+* on restart, :meth:`restore_state` reinstates that state **and
+  reflushes** every day it covers, overwriting whatever a post-
+  checkpoint flush had written before the kill;
+* the resumed replay then re-finalizes exactly the slots the restored
+  monitor has not finalized yet, so every record lands in the segment
+  exactly once and the final bytes equal an uninterrupted run's.
+
+Day-of-week handling: the simulator's demand day (``--day``) is
+configuration, not calendar — a Monday demand profile can be stamped on
+any epoch day — so the writer takes an explicit ``day_of_week`` for the
+stream's first day (subsequent days increment mod 7) and falls back to
+the calendar weekday of the epoch day when none is declared.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import QueueSpot, TimeSlotGrid
+from repro.history.format import SlotRecord, day_of_week_of
+from repro.history.segments import DaySegment, SegmentStore
+from repro.service.metrics import MetricsRegistry
+from repro.stream.monitor import SlotResult
+
+
+class HistoryWriter:
+    """Append finalized slot results to the durable history.
+
+    Args:
+        store: the segment store to write into.
+        spots: the served spot set (each day segment embeds it).
+        grid: the slot grid the incoming results are indexed against.
+        day_of_week: 0=Mon..6=Sun of the grid's first day; None derives
+            the calendar weekday from the epoch-day number.
+        metrics: optional registry (``history.append_seconds``
+            histogram, plus the store's own counters).
+        tracer: optional :class:`repro.obs.Tracer`; each flush runs
+            under a ``history.append`` span.
+    """
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        spots: Sequence[QueueSpot],
+        grid: TimeSlotGrid,
+        day_of_week: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ):
+        if day_of_week is not None and not 0 <= day_of_week <= 6:
+            raise ValueError("day_of_week must be in 0..6 (Monday=0)")
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER as tracer
+        self.store = store
+        self.spots = list(spots)
+        self.grid = grid
+        self.first_day = int(grid.start_ts // 86400)
+        self.day_of_week = day_of_week
+        self.tracer = tracer
+        self._metrics = metrics
+        self._by_day: Dict[int, List[SlotRecord]] = {}
+
+    # -- day bookkeeping ---------------------------------------------------------
+
+    def day_of_slot(self, slot: int) -> int:
+        """Epoch-day number the grid slot's start falls in."""
+        return int(
+            (self.grid.start_ts + slot * self.grid.slot_seconds) // 86400
+        )
+
+    def dow_of_day(self, day: int) -> int:
+        """The declared (or calendar) day of week of an epoch day."""
+        if self.day_of_week is None:
+            return day_of_week_of(day)
+        return (self.day_of_week + (day - self.first_day)) % 7
+
+    def _day_slot(self, slot: int) -> int:
+        """The slot index within its own day."""
+        ts = self.grid.start_ts + slot * self.grid.slot_seconds
+        return int((ts - (ts // 86400) * 86400.0) // self.grid.slot_seconds)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def absorb(self, results: Sequence[SlotResult]) -> None:
+        """Record one finalized batch and reflush the touched days.
+
+        This is the monitor-subscription entry point; it runs on the
+        ingest thread, between records, so its view of the monitor's
+        progress is always at a record boundary.
+        """
+        touched = set()
+        for result in results:
+            day = self.day_of_slot(result.slot)
+            features = result.features
+            self._by_day.setdefault(day, []).append(
+                SlotRecord(
+                    spot_id=result.spot_id,
+                    slot=self._day_slot(result.slot),
+                    label=result.label.label,
+                    routine=result.label.routine,
+                    mean_wait_s=features.mean_wait_s,
+                    n_arrivals=features.n_arrivals,
+                    queue_length=features.queue_length,
+                    mean_departure_interval_s=(
+                        features.mean_departure_interval_s
+                    ),
+                    n_departures=features.n_departures,
+                )
+            )
+            touched.add(day)
+        for day in sorted(touched):
+            self.flush_day(day)
+
+    def flush_day(self, day: int) -> None:
+        """Atomically rewrite one day's segment from in-memory state."""
+        records = self._by_day.get(day, [])
+        timer = (
+            self._metrics.time("history.append_seconds")
+            if self._metrics is not None
+            else nullcontext()
+        )
+        with self.tracer.span(
+            "history.append", day=day, records=len(records)
+        ):
+            with timer:
+                self.store.write_day(
+                    DaySegment(
+                        day=day,
+                        day_of_week=self.dow_of_day(day),
+                        slot_seconds=self.grid.slot_seconds,
+                        spots=self.spots,
+                        records=records,
+                    )
+                )
+
+    def flush_all(self) -> None:
+        """Rewrite every day this writer holds records for."""
+        for day in sorted(self._by_day):
+            self.flush_day(day)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable writer state (records per day) for the service
+        checkpoint; spots and grid are configuration."""
+        return {
+            "by_day": {
+                day: list(records) for day, records in self._by_day.items()
+            }
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state exported by :meth:`export_state` and reflush
+        the covered segments so disk matches the checkpoint exactly
+        (any post-checkpoint bytes from before the kill are
+        overwritten)."""
+        self._by_day = {
+            int(day): list(records)
+            for day, records in state["by_day"].items()
+        }
+        self.flush_all()

@@ -22,6 +22,7 @@ from repro.obs.export import (
     InMemorySink,
     TraceWriter,
     load_spans,
+    open_text,
     validate_span,
     validate_trace_file,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "Tracer",
     "format_summary",
     "load_spans",
+    "open_text",
     "render_prometheus",
     "summarize_spans",
     "validate_span",

@@ -6,14 +6,31 @@ contract the CI observability job and ``taxiqueue trace summarize``
 validate against; it is expressed as standard JSON Schema but checked
 with the small stdlib-only validator below (no ``jsonschema``
 dependency in the container).
+
+A ``.gz`` path is handled transparently everywhere (:func:`open_text`):
+``--trace-out traces.jsonl.gz`` writes gzip, and the summarizer, the
+validator and ``taxiqueue history query`` read either encoding.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import threading
 from pathlib import Path
 from typing import IO, List, Optional, Union
+
+
+def open_text(path: Union[str, Path], mode: str = "rt") -> IO[str]:
+    """Open a text file, gzip-compressed when the name ends ``.gz``.
+
+    ``mode`` is a text mode (``"rt"``/``"wt"``/``"at"``); the gzip
+    branch passes it through so callers never see a bytes handle.
+    """
+    path = Path(path)
+    if path.name.endswith(".gz"):
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode.replace("t", "") or "r", encoding="utf-8")
 
 #: JSON Schema of one exported span (one JSONL line).
 SPAN_SCHEMA = {
@@ -95,7 +112,7 @@ def validate_trace_file(path: Union[str, Path]) -> List[str]:
     seen_ids = set()
     by_trace: dict = {}
     spans: List[dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    with open_text(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
@@ -139,7 +156,7 @@ def load_spans(path: Union[str, Path]) -> List[dict]:
         head = "; ".join(errors[:5])
         raise ValueError(f"invalid trace file {path}: {head}")
     spans: List[dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    with open_text(path) as fh:
         for line in fh:
             line = line.strip()
             if line:
@@ -152,14 +169,14 @@ class TraceWriter:
 
     Whole traces are written atomically under a lock, so spans of a
     trace are contiguous in the file even when multiple threads finish
-    traces concurrently.
+    traces concurrently.  A ``.gz`` path writes gzip-compressed JSONL.
     """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         # Opened eagerly: an unwritable path must fail *here*, before
         # any pipeline work runs (see the CLI's fail-fast contract).
-        self._fh: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+        self._fh: Optional[IO[str]] = open_text(self.path, "wt")
         self._lock = threading.Lock()
         self.traces_written = 0
         self.spans_written = 0

@@ -37,6 +37,7 @@ from typing import List, Optional, TYPE_CHECKING
 from repro.service.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.history.writer import HistoryWriter
     from repro.resilience.reorder import ReorderBuffer
     from repro.service.snapshot import SnapshotStore
     from repro.stream.monitor import StreamingQueueMonitor
@@ -196,6 +197,9 @@ class ServiceCheckpointer:
         store: the snapshot store (version + finalized results).
         reorder: the ingest reorder buffer, when one is in front of
             the monitor.
+        history: the durable history writer, when the service persists
+            day segments; captured and restored at the same record
+            boundary so segment bytes stay exactly-once.
         every_records: checkpoint cadence in consumed source records.
     """
 
@@ -205,6 +209,7 @@ class ServiceCheckpointer:
         monitor: "StreamingQueueMonitor",
         store: "SnapshotStore",
         reorder: Optional["ReorderBuffer"] = None,
+        history: Optional["HistoryWriter"] = None,
         every_records: int = 5000,
     ):
         if every_records < 1:
@@ -213,6 +218,7 @@ class ServiceCheckpointer:
         self.monitor = monitor
         self.store = store
         self.reorder = reorder
+        self.history = history
         self.every_records = int(every_records)
 
     def maybe_checkpoint(self, stream_pos: int) -> Optional[Path]:
@@ -235,6 +241,9 @@ class ServiceCheckpointer:
             "reorder": (
                 None if self.reorder is None else self.reorder.export_state()
             ),
+            "history": (
+                None if self.history is None else self.history.export_state()
+            ),
         }
         return self.manager.save(payload)
 
@@ -255,4 +264,9 @@ class ServiceCheckpointer:
         self.store.restore_state(payload["store"])
         if self.reorder is not None and payload["reorder"] is not None:
             self.reorder.restore_state(payload["reorder"])
+        # ``.get``: checkpoints written before the history subsystem
+        # existed have no "history" slice and must keep restoring.
+        history_state = payload.get("history")
+        if self.history is not None and history_state is not None:
+            self.history.restore_state(history_state)
         return int(payload["stream_pos"])

@@ -48,6 +48,18 @@ class ServiceConfig:
       resumes bit-identically after a kill;
     * ``stale_after_s`` — staleness threshold of the service watchdog
       (surfaced at ``/v1/healthz`` and ``/v1/metrics``).
+
+    The history knobs (see ``docs/history.md``):
+
+    * ``history_dir`` — when set, finalized slot results are persisted
+      as durable day segments (:mod:`repro.history`) and the
+      ``/v1/history/*`` endpoints come up; the history writer rides in
+      the service checkpoint so a kill/restart never loses or
+      double-writes a record;
+    * ``history_day_of_week`` — 0=Mon..6=Sun of the stream's first
+      day; None derives the calendar weekday from the epoch day;
+    * ``history_compact_interval_s`` — cadence of the background
+      week-level compactor.
     """
 
     host: str = "127.0.0.1"
@@ -60,6 +72,9 @@ class ServiceConfig:
     checkpoint_every_records: int = 5000
     stale_after_s: float = 30.0
     watchdog_interval_s: float = 1.0
+    history_dir: Optional[str] = None
+    history_day_of_week: Optional[int] = None
+    history_compact_interval_s: float = 300.0
 
 
 class QueueService:
@@ -74,6 +89,9 @@ class QueueService:
         metrics: MetricsRegistry,
         watchdog=None,
         checkpointer=None,
+        history_writer=None,
+        history_compactor=None,
+        history_engine=None,
     ):
         self.store = store
         self.monitor = monitor
@@ -82,6 +100,9 @@ class QueueService:
         self.metrics = metrics
         self.watchdog = watchdog
         self.checkpointer = checkpointer
+        self.history_writer = history_writer
+        self.history_compactor = history_compactor
+        self.history_engine = history_engine
         self.resumed_from: Optional[int] = None
         """Stream position restored from a checkpoint, None on cold
         start (set by :meth:`from_day` when a checkpoint was loaded)."""
@@ -165,6 +186,37 @@ class QueueService:
         )
         monitor.subscribe(lambda results: snapshot.apply(results))
 
+        history_writer = None
+        history_compactor = None
+        history_engine = None
+        if config.history_dir is not None:
+            from repro.history import (
+                HistoryCompactor,
+                HistoryQueryEngine,
+                HistoryWriter,
+                SegmentStore,
+            )
+
+            segment_store = SegmentStore(config.history_dir, metrics=metrics)
+            history_writer = HistoryWriter(
+                segment_store,
+                detection.spots,
+                grid,
+                day_of_week=config.history_day_of_week,
+                metrics=metrics,
+                tracer=tracer,
+            )
+            monitor.subscribe(history_writer.absorb)
+            history_compactor = HistoryCompactor(
+                segment_store,
+                interval_s=config.history_compact_interval_s,
+                metrics=metrics,
+                tracer=tracer,
+            )
+            history_engine = HistoryQueryEngine(
+                segment_store, metrics=metrics, tracer=tracer
+            )
+
         reorder = None
         if config.disorder_window_s > 0:
             from repro.resilience import ReorderBuffer
@@ -182,6 +234,7 @@ class QueueService:
                 monitor,
                 snapshot,
                 reorder=reorder,
+                history=history_writer,
                 every_records=config.checkpoint_every_records,
             )
             resumed_from = checkpointer.restore_latest()
@@ -211,6 +264,7 @@ class QueueService:
             port=config.port,
             cache_ttl_s=config.cache_ttl_s,
             watchdog=watchdog,
+            history=history_engine,
         )
         service = cls(
             snapshot,
@@ -220,6 +274,9 @@ class QueueService:
             metrics,
             watchdog=watchdog,
             checkpointer=checkpointer,
+            history_writer=history_writer,
+            history_compactor=history_compactor,
+            history_engine=history_engine,
         )
         service.resumed_from = resumed_from
         return service
@@ -231,10 +288,18 @@ class QueueService:
         self.server.start()
         if self.watchdog is not None:
             self.watchdog.start()
+        if self.history_compactor is not None:
+            self.history_compactor.start()
         self.replayer.start()
 
     def stop(self) -> None:
         self.replayer.stop()
+        if self.history_writer is not None:
+            # One last flush so segments cover everything finalized
+            # before shutdown, then fold them into the aggregate.
+            self.history_writer.flush_all()
+        if self.history_compactor is not None:
+            self.history_compactor.stop(final_pass=True)
         if self.watchdog is not None:
             self.watchdog.stop()
         self.server.stop()

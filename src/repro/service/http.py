@@ -9,6 +9,22 @@ mirrors what the paper's frontend queries (section 7.1):
 * ``GET /v1/healthz`` — liveness plus snapshot version and uptime;
 * ``GET /v1/metrics`` — the metrics registry snapshot.
 
+When the service runs with a durable history
+(:mod:`repro.history`), three more endpoints come up:
+
+* ``GET /v1/spots/{id}/history`` — one spot's multi-day slot records,
+  paginated (``page``/``per_page``), optionally downsampled
+  (``downsample=k`` folds k consecutive slots) or summarized as a
+  day-of-week × slot profile (``view=profile``);
+* ``GET /v1/history/citywide`` — per-day citywide summaries over a
+  ``start_day``/``end_day`` epoch-day range;
+* ``GET /v1/history/patterns`` — the week-level section-6 numbers
+  (per-zone spot counts and C1–C4 mixes per day of week).
+
+History endpoints carry their own strong ETag (``"h<version>"``, the
+segment store's write version) and share the TTL body cache, keyed on
+path *plus query string*.
+
 Snapshot-derived endpoints carry a strong ``ETag`` equal to the snapshot
 version; a conditional ``If-None-Match`` request is answered ``304 Not
 Modified`` until new slot results advance the version.  Serialized bodies
@@ -34,9 +50,25 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.service.metrics import MetricsRegistry
 from repro.service.snapshot import SnapshotStore
+
+
+class _BadQuery(ValueError):
+    """A request carried an invalid query parameter (HTTP 400)."""
+
+
+def _query_int(params: Dict[str, list], name: str, default=None):
+    """The last occurrence of an integer query parameter."""
+    values = params.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[-1])
+    except ValueError:
+        raise _BadQuery(f"{name} must be an integer") from None
 
 
 @dataclass
@@ -142,6 +174,10 @@ class QueueStateServer:
         cache_ttl_s: per-endpoint TTL of serialized bodies (0 disables).
         watchdog: optional freshness watchdog; when set, its staleness
             reading is included in the ``/v1/healthz`` payload.
+        history: optional
+            :class:`~repro.history.HistoryQueryEngine`; enables the
+            ``/v1/history/*`` and ``/v1/spots/{id}/history`` routes
+            (404 without it).
     """
 
     def __init__(
@@ -152,11 +188,13 @@ class QueueStateServer:
         port: int = 0,
         cache_ttl_s: float = 1.0,
         watchdog=None,
+        history=None,
     ):
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = ResponseCache(cache_ttl_s)
         self.watchdog = watchdog
+        self.history = history
         self._last_good: Dict[str, bytes] = {}
         self._last_good_lock = threading.Lock()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -222,7 +260,9 @@ class QueueStateServer:
     def _route_name(self, path: str) -> str:
         parts = path.strip("/").split("/")
         if len(parts) == 4 and parts[:2] == ["v1", "spots"]:
-            return "spot_slots"
+            return "spot_history" if parts[3] == "history" else "spot_slots"
+        if len(parts) == 3 and parts[:2] == ["v1", "history"]:
+            return f"history_{parts[2]}"
         if len(parts) == 2 and parts[0] == "v1":
             return parts[1]
         return "unknown"
@@ -254,15 +294,124 @@ class QueueStateServer:
                 if_none_match,
                 lambda: self.store.spot_slots_payload(spot_id),
             )
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "spots"]
+            and parts[3] == "history"
+        ):
+            return self._spot_history_response(
+                parts[2], path, query, if_none_match
+            )
+        if len(parts) == 3 and parts[:2] == ["v1", "history"]:
+            if parts[2] == "citywide":
+                return self._history_citywide_response(
+                    path, query, if_none_match
+                )
+            if parts[2] == "patterns":
+                return self._history_response(
+                    path, query, if_none_match, lambda: self.history.patterns()
+                )
         return Response(
             404, _json_body({"error": f"no such endpoint: {path}"})
         )
 
+    # -- history routing ---------------------------------------------------------
+
+    def _spot_history_response(
+        self, spot_id: str, path: str, query: str, if_none_match: Optional[str]
+    ) -> Response:
+        params = parse_qs(query)
+        view = params.get("view", ["records"])[-1]
+        if view == "profile":
+            return self._history_response(
+                path,
+                query,
+                if_none_match,
+                lambda: self.history.spot_profile(spot_id),
+            )
+        if view != "records":
+            return Response(
+                400, _json_body({"error": f"unknown view: {view!r}"})
+            )
+
+        def payload():
+            from repro.history.query import DEFAULT_PER_PAGE
+
+            return self.history.spot_history(
+                spot_id,
+                start_day=_query_int(params, "start_day"),
+                end_day=_query_int(params, "end_day"),
+                page=_query_int(params, "page", 1),
+                per_page=_query_int(params, "per_page", DEFAULT_PER_PAGE),
+                downsample=_query_int(params, "downsample", 1),
+            )
+
+        return self._history_response(path, query, if_none_match, payload)
+
+    def _history_citywide_response(
+        self, path: str, query: str, if_none_match: Optional[str]
+    ) -> Response:
+        params = parse_qs(query)
+        return self._history_response(
+            path,
+            query,
+            if_none_match,
+            lambda: self.history.citywide(
+                start_day=_query_int(params, "start_day"),
+                end_day=_query_int(params, "end_day"),
+            ),
+        )
+
+    def _history_response(
+        self, path: str, query: str, if_none_match: Optional[str], payload_fn
+    ) -> Response:
+        """ETag + TTL-cache wrapper of the history routes.
+
+        The ETag is the segment store's write version (prefixed ``h`` so
+        it can never collide with a snapshot ETag) and the cache key
+        includes the query string — same version, different pagination
+        must not share a body.
+        """
+        if self.history is None:
+            return Response(
+                404,
+                _json_body(
+                    {"error": "history not enabled (serve --history-dir)"}
+                ),
+            )
+        version = self.history.version
+        etag = f'"h{version}"'
+        if if_none_match is not None and etag in (
+            tag.strip() for tag in if_none_match.split(",")
+        ):
+            self.metrics.counter("http.not_modified").inc()
+            return Response(304, etag=etag)
+        cache_key = f"{path}?{query}" if query else path
+        body = self.cache.get(cache_key, version)
+        if body is not None:
+            self.metrics.counter("http.cache_hits").inc()
+            return Response(200, body, etag=etag)
+        self.metrics.counter("http.cache_misses").inc()
+        try:
+            payload = payload_fn()
+        except _BadQuery as exc:
+            return Response(400, _json_body({"error": str(exc)}))
+        except ValueError as exc:
+            # QueryError from the engine: invalid pagination/downsample.
+            return Response(400, _json_body({"error": str(exc)}))
+        if payload is None:
+            return Response(
+                404, _json_body({"error": "spot unknown to the history"})
+            )
+        body = _json_body(payload)
+        self.cache.put(cache_key, version, body)
+        with self._last_good_lock:
+            self._last_good[path] = body
+        return Response(200, body, etag=etag)
+
     def _metrics_response(self, query: str) -> Response:
         """``/v1/metrics``: JSON by default, ``?format=prometheus`` for
         text exposition format 0.0.4 (see :mod:`repro.obs.prometheus`)."""
-        from urllib.parse import parse_qs
-
         fmt = parse_qs(query).get("format", ["json"])[-1]
         if fmt == "prometheus":
             from repro.obs.prometheus import render_prometheus

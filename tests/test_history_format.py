@@ -1,0 +1,207 @@
+"""Property and corruption tests of the history segment codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import QueueSpot, QueueType
+from repro.history.format import (
+    LABEL_CODES,
+    RECORD_STRUCT,
+    SEGMENT_MAGIC,
+    SegmentFormatError,
+    SlotRecord,
+    day_of_week_of,
+    decode_records,
+    decode_segment,
+    encode_records,
+    encode_segment,
+    write_bytes_atomic,
+)
+
+SPOTS = [
+    QueueSpot(
+        spot_id=f"spot-{i}",
+        lon=103.8 + i * 0.01,
+        lat=1.28 + i * 0.01,
+        zone=f"Z{i % 3}",
+        pickup_count=10 * (i + 1),
+        radius_m=45.0,
+    )
+    for i in range(4)
+]
+SPOT_INDEX = {spot.spot_id: i for i, spot in enumerate(SPOTS)}
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+records_strategy = st.lists(
+    st.builds(
+        SlotRecord,
+        spot_id=st.sampled_from([s.spot_id for s in SPOTS]),
+        slot=st.integers(min_value=0, max_value=0xFFFF),
+        label=st.sampled_from(sorted(LABEL_CODES, key=lambda q: q.value)),
+        routine=st.integers(min_value=0, max_value=0xFF),
+        mean_wait_s=st.one_of(st.none(), finite),
+        n_arrivals=finite,
+        queue_length=finite,
+        mean_departure_interval_s=finite,
+        n_departures=finite,
+    ),
+    max_size=64,
+)
+
+
+class TestRecordRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(records=records_strategy)
+    def test_encode_decode_identity(self, records):
+        """decode(encode(records)) == records, field for field."""
+        block = encode_records(records, SPOT_INDEX)
+        assert len(block) == len(records) * RECORD_STRUCT.size
+        decoded = decode_records(block, [s.spot_id for s in SPOTS])
+        assert decoded == records
+
+    @settings(max_examples=30, deadline=None)
+    @given(records=records_strategy, dow=st.integers(0, 6))
+    def test_segment_round_trip(self, records, dow):
+        """A whole segment survives encode→decode, including the spot
+        table and header metadata."""
+        raw = encode_segment(
+            day=14000, day_of_week=dow, slot_seconds=1800.0,
+            spots=SPOTS, records=records,
+        )
+        header, spots, decoded = decode_segment(raw)
+        assert header["day"] == 14000
+        assert header["day_of_week"] == dow
+        assert spots == SPOTS
+        assert decoded == records
+
+    def test_nan_wait_is_none(self):
+        record = SlotRecord(
+            spot_id="spot-0", slot=3, label=QueueType.C2, routine=1,
+            mean_wait_s=None, n_arrivals=1.0, queue_length=0.0,
+            mean_departure_interval_s=0.0, n_departures=2.0,
+        )
+        block = encode_records([record], SPOT_INDEX)
+        (_, _, _, _, wait, *_rest) = RECORD_STRUCT.unpack(block)
+        assert math.isnan(wait)
+        assert decode_records(block, ["spot-0"])[0].mean_wait_s is None
+
+
+class TestValidation:
+    def test_unknown_spot_rejected(self):
+        record = SlotRecord(
+            spot_id="ghost", slot=0, label=QueueType.C1, routine=0,
+            mean_wait_s=None, n_arrivals=0.0, queue_length=0.0,
+            mean_departure_interval_s=0.0, n_departures=0.0,
+        )
+        with pytest.raises(SegmentFormatError, match="spot"):
+            encode_records([record], SPOT_INDEX)
+
+    def test_slot_out_of_range_rejected(self):
+        record = SlotRecord(
+            spot_id="spot-0", slot=0x10000, label=QueueType.C1, routine=0,
+            mean_wait_s=None, n_arrivals=0.0, queue_length=0.0,
+            mean_departure_interval_s=0.0, n_departures=0.0,
+        )
+        with pytest.raises(SegmentFormatError, match="slot"):
+            encode_records([record], SPOT_INDEX)
+
+    def test_ragged_block_rejected(self):
+        with pytest.raises(SegmentFormatError, match="multiple"):
+            decode_records(b"\x00" * (RECORD_STRUCT.size + 1), ["spot-0"])
+
+    def test_unknown_label_code_rejected(self):
+        block = bytearray(
+            RECORD_STRUCT.pack(0, 0, 1, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        )
+        block[4] = 250  # label code byte
+        with pytest.raises(SegmentFormatError, match="label code"):
+            decode_records(bytes(block), ["spot-0"])
+
+
+class TestCorruptionDetection:
+    def _segment(self):
+        records = [
+            SlotRecord(
+                spot_id="spot-1", slot=i, label=QueueType.C3, routine=1,
+                mean_wait_s=30.0 * i, n_arrivals=float(i),
+                queue_length=2.0, mean_departure_interval_s=45.0,
+                n_departures=3.0,
+            )
+            for i in range(8)
+        ]
+        return encode_segment(
+            day=14001, day_of_week=2, slot_seconds=1800.0,
+            spots=SPOTS, records=records,
+        )
+
+    def test_truncation_detected(self):
+        raw = self._segment()
+        with pytest.raises(SegmentFormatError):
+            decode_segment(raw[: len(raw) - 7])
+
+    def test_bit_flip_detected(self):
+        raw = bytearray(self._segment())
+        raw[len(raw) // 2] ^= 0x01
+        with pytest.raises(SegmentFormatError, match="SHA-256"):
+            decode_segment(bytes(raw))
+
+    def test_bad_magic_detected(self):
+        raw = self._segment()
+        with pytest.raises(SegmentFormatError, match="magic"):
+            decode_segment(b"NOTMAGIC" + raw[len(SEGMENT_MAGIC):])
+
+    def test_header_record_count_cross_checked(self):
+        import hashlib
+        import json
+
+        header = {
+            "version": 1, "day": 1, "day_of_week": 0,
+            "slot_seconds": 1800.0, "spots": [], "n_records": 5,
+        }
+        body = (
+            SEGMENT_MAGIC
+            + json.dumps(header, sort_keys=True).encode() + b"\n"
+        )
+        raw = body + hashlib.sha256(body).hexdigest().encode()
+        with pytest.raises(SegmentFormatError, match="claims"):
+            decode_segment(raw)
+
+
+class TestAtomicWrite:
+    def test_write_replaces_atomically(self, tmp_path):
+        target = tmp_path / "day-1.seg"
+        write_bytes_atomic(target, b"old")
+        write_bytes_atomic(target, b"new")
+        assert target.read_bytes() == b"new"
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []
+
+    def test_failed_write_leaves_previous_intact(self, tmp_path, monkeypatch):
+        target = tmp_path / "day-1.seg"
+        write_bytes_atomic(target, b"generation-1")
+
+        import repro.history.format as fmt
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(fmt.os, "replace", explode)
+        with pytest.raises(OSError):
+            write_bytes_atomic(target, b"generation-2")
+        monkeypatch.undo()
+        assert target.read_bytes() == b"generation-1"
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []
+
+
+def test_day_of_week_of_known_dates():
+    # 1970-01-01 (day 0) was a Thursday; 2008-08-01 (day 14092) a Friday.
+    assert day_of_week_of(0) == 3
+    assert day_of_week_of(14092) == 4
+    assert day_of_week_of(14094) == 6  # the following Sunday
