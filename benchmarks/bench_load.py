@@ -1,0 +1,115 @@
+"""Load-harness bench — baseline and overload profiles of the server.
+
+Two measurements against a warm simulated day, both driven by the
+deterministic closed-loop harness (``repro.load``):
+
+* **baseline** — no admission control: what the box sustains, with
+  the client-side nearest-rank latency tail;
+* **overload** — a tightly admission-bounded server offered far more
+  than its rate limit: admitted throughput, shed volume, and the
+  latency of the surviving (admitted) requests.
+
+Recorded into ``benchmarks/results/load.txt`` so regressions in either
+the serving path or the shed path show up as a diff.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.engine import EngineConfig, QueueAnalyticEngine
+from repro.load import LoadTestConfig, run_loadtest
+from repro.service import QueueService, ServiceConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import simulate_day
+
+
+def _warm_service(**knobs):
+    output = simulate_day(
+        SimulationConfig(seed=11, fleet_size=150, n_queue_spots=10,
+                         n_decoy_landmarks=5)
+    )
+    city = output.city
+    engine = QueueAnalyticEngine(
+        zones=city.zones,
+        projection=city.projection,
+        config=EngineConfig(observed_fraction=output.config.observed_fraction),
+        city_bbox=city.bbox,
+        inaccessible=city.water,
+    )
+    service = QueueService.from_day(
+        output.store,
+        engine,
+        ServiceConfig(speedup=None, cache_ttl_s=1.0, **knobs),
+        output.ground_truth.grid,
+    )
+    service.warm()
+    service.server.start()
+    return service
+
+
+def _drive(service, concurrency):
+    config = LoadTestConfig(
+        url=service.server.url,
+        profile="read-heavy",
+        mode="closed",
+        concurrency=concurrency,
+        duration_s=2.0,
+        warmup_s=0.5,
+        seed=11,
+    )
+    report, result, _ = run_loadtest(config)
+    return report
+
+
+def _ms(value):
+    return "-" if value is None else f"{value * 1e3:8.2f} ms"
+
+
+def test_load_baseline_and_overload():
+    baseline_service = _warm_service()
+    try:
+        baseline = _drive(baseline_service, concurrency=8)
+    finally:
+        baseline_service.server.stop()
+
+    limited_service = _warm_service(
+        rate_limit_rps=200.0, rate_burst=50, max_inflight=4
+    )
+    try:
+        overload = _drive(limited_service, concurrency=12)
+        peak = limited_service.server.admission.peak_inflight
+    finally:
+        limited_service.server.stop()
+
+    admitted_rps = (
+        baseline.ok_responses / baseline.duration_s,
+        overload.ok_responses / overload.duration_s,
+    )
+    lines = [
+        "Load bench — closed-loop harness against a warm snapshot",
+        "  baseline (no admission control, 8 workers)",
+        f"    throughput               {baseline.throughput_rps:10.0f} req/s",
+        f"    latency p50              {_ms(baseline.latency_p50_s)}",
+        f"    latency p99              {_ms(baseline.latency_p99_s)}",
+        f"    errors                   {baseline.errors}",
+        "  overload (rate 200/s, burst 50, max-inflight 4, 12 workers)",
+        f"    offered                  {overload.offered_rps:10.0f} req/s",
+        f"    admitted                 {admitted_rps[1]:10.0f} req/s",
+        f"    shed (429)               {overload.shed}",
+        f"    shed fraction            "
+        f"{overload.shed / max(1, overload.requests):10.3f}",
+        f"    admitted latency p99     {_ms(overload.latency_p99_s)}",
+        f"    peak inflight            {peak}",
+        f"    errors                   {overload.errors}",
+    ]
+    emit("load", lines)
+
+    # Conservative floors for slow CI boxes.
+    assert baseline.errors == 0
+    assert baseline.throughput_rps > 200
+    assert overload.errors == 0
+    assert set(overload.statuses) <= {200, 304, 429}
+    assert overload.shed > 0
+    assert peak <= 4
+    assert admitted_rps[1] > 0

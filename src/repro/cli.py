@@ -7,7 +7,11 @@ Subcommands mirror the deployed system's workflow (paper section 7.1):
 * ``analyze`` — tiers 1+2: detection plus queue context labels;
 * ``export``  — tiers 1+2 plus frontend artefacts (GeoJSON, CSV, HTML);
 * ``serve``   — replay a day through the streaming monitor and serve
-  live queue state over HTTP (see ``docs/service.md``);
+  live queue state over HTTP (see ``docs/service.md``); admission
+  control via ``--max-inflight`` / ``--rate-limit`` sheds overload
+  with ``429 + Retry-After`` (see ``docs/load.md``);
+* ``loadtest`` — drive a running service with a seeded deterministic
+  workload and gate the result on SLOs (exit 1 on breach);
 * ``demo``    — a quick end-to-end run on a small simulated day;
 * ``metrics-dump`` — fetch a running service's metrics in Prometheus
   text format;
@@ -458,6 +462,20 @@ def _validate_serve_args(args: argparse.Namespace) -> Optional[str]:
             f"--history-compact-interval must be positive seconds, "
             f"got {args.history_compact_interval:g}"
         )
+    if args.max_inflight is not None and args.max_inflight < 1:
+        return (
+            f"--max-inflight must admit at least one request, "
+            f"got {args.max_inflight}"
+        )
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        return (
+            f"--rate-limit must be positive requests/second, "
+            f"got {args.rate_limit:g}"
+        )
+    if args.rate_burst is not None and args.rate_burst < 1:
+        return f"--rate-burst must be >= 1 token, got {args.rate_burst}"
+    if args.rate_burst is not None and args.rate_limit is None:
+        return "--rate-burst needs --rate-limit"
     return None
 
 
@@ -502,6 +520,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         speedup=None if args.speedup <= 0 else args.speedup,
         cache_ttl_s=args.cache_ttl,
+        max_inflight=args.max_inflight,
+        rate_limit_rps=args.rate_limit,
+        rate_burst=args.rate_burst,
         grace_s=args.grace,
         disorder_window_s=args.disorder_window,
         checkpoint_dir=args.checkpoint_dir,
@@ -557,6 +578,53 @@ def cmd_serve(args: argparse.Namespace) -> int:
         service.stop()
         _close_tracer(trace_writer)
     return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a running service with a seeded workload; gate on SLOs.
+
+    Exit codes: 0 — run completed and every configured SLO held;
+    1 — SLO breach; 2 — bad arguments or unreachable target.
+    """
+    from repro.load import (
+        PROFILES,
+        LoadTestConfig,
+        TargetError,
+        format_report,
+        run_loadtest,
+    )
+
+    if args.profile not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        print(
+            f"error: unknown profile {args.profile!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = LoadTestConfig(
+            url=args.url,
+            profile=args.profile,
+            mode=args.mode,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            seed=args.seed,
+            timeout_s=args.timeout,
+            slo_p99_s=args.slo_p99,
+            slo_error_rate=args.slo_error_rate,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report, result, breaches = run_loadtest(config)
+    except TargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report, result, breaches, config))
+    return 1 if breaches else 0
 
 
 def cmd_metrics_dump(args: argparse.Namespace) -> int:
@@ -933,6 +1001,23 @@ def build_parser() -> argparse.ArgumentParser:
         "the monitor, later ones are dropped and counted (0 disables)",
     )
     p_srv.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission control: bound on concurrently handled requests; "
+        "excess requests are shed with 429 + Retry-After "
+        "(default: unbounded; see docs/load.md)",
+    )
+    p_srv.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="admission control: sustained requests/second through a "
+        "token bucket; over-rate requests are shed with 429 + "
+        "Retry-After (default: no rate limit)",
+    )
+    p_srv.add_argument(
+        "--rate-burst", type=int, default=None, metavar="TOKENS",
+        help="token-bucket burst capacity (default: one second's worth "
+        "of --rate-limit)",
+    )
+    p_srv.add_argument(
         "--stale-after", type=float, default=30.0,
         help="watchdog staleness threshold in wall seconds (surfaced at "
         "/v1/healthz and /v1/metrics)",
@@ -960,6 +1045,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="small end-to-end demonstration")
     p_demo.add_argument("--seed", type=int, default=7)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="drive a running service with a seeded deterministic "
+        "workload and gate on SLOs (see docs/load.md)",
+    )
+    p_load.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the running service (default %(default)s)",
+    )
+    p_load.add_argument(
+        "--profile", default="read-heavy",
+        help="workload profile: read-heavy, mixed, history, snapshot-hot "
+        "(default %(default)s)",
+    )
+    p_load.add_argument(
+        "--mode", choices=("open", "closed"), default="closed",
+        help="open: fixed arrival schedule at --rate; closed: "
+        "--concurrency back-to-back workers (default %(default)s)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=50.0,
+        help="open-loop arrival rate in requests/second "
+        "(default %(default)s)",
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop worker count (default %(default)s)",
+    )
+    p_load.add_argument(
+        "--duration", type=float, default=10.0,
+        help="measured seconds, after warmup (default %(default)s)",
+    )
+    p_load.add_argument(
+        "--warmup", type=float, default=1.0,
+        help="warmup seconds discarded from the report "
+        "(default %(default)s)",
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=7,
+        help="workload seed; same seed, byte-identical request plan "
+        "(default %(default)s)",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-request HTTP timeout in seconds (default %(default)s)",
+    )
+    p_load.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="fail (exit 1) when p99 latency exceeds this",
+    )
+    p_load.add_argument(
+        "--slo-error-rate", type=float, default=None, metavar="RATE",
+        help="fail (exit 1) when the error rate (transport + 5xx; "
+        "shed 429s excluded) exceeds this",
+    )
+    p_load.set_defaults(func=cmd_loadtest)
 
     p_dump = sub.add_parser(
         "metrics-dump",

@@ -1,0 +1,62 @@
+"""Deterministic load harness for the serving layer.
+
+The counterpart of :mod:`repro.service.admission`: where the server
+decides what to shed, this package measures how the whole serving
+stack behaves while being offered load — with a *seeded,
+deterministic* request stream so two runs compare like with like.
+
+* :mod:`repro.load.profile` — named request mixes over the API's
+  endpoint set, expanded into byte-identical request plans per seed;
+* :mod:`repro.load.generator` — open-loop (fixed arrival schedule)
+  and closed-loop (back-to-back workers) drivers over keep-alive
+  stdlib HTTP;
+* :mod:`repro.load.recorder` — nearest-rank p50/p95/p99/max latency,
+  throughput, per-status/shed/error accounting and SLO gating;
+* :mod:`repro.load.runner` — ``taxiqueue loadtest``: discovery, plan,
+  drive, report, non-zero exit on SLO breach.
+
+See ``docs/load.md`` for the knobs and the 429/Retry-After contract.
+"""
+
+from repro.load.generator import (
+    DriverResult,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.load.profile import (
+    PROFILES,
+    ROUTE_FAMILIES,
+    WorkloadProfile,
+    get_profile,
+    plan_bytes,
+    plan_requests,
+)
+from repro.load.recorder import LatencyRecorder, LoadReport
+from repro.load.runner import (
+    LoadTestConfig,
+    TargetError,
+    build_plan,
+    discover_spots,
+    format_report,
+    run_loadtest,
+)
+
+__all__ = [
+    "DriverResult",
+    "LatencyRecorder",
+    "LoadReport",
+    "LoadTestConfig",
+    "PROFILES",
+    "ROUTE_FAMILIES",
+    "TargetError",
+    "WorkloadProfile",
+    "build_plan",
+    "discover_spots",
+    "format_report",
+    "get_profile",
+    "plan_bytes",
+    "plan_requests",
+    "run_closed_loop",
+    "run_loadtest",
+    "run_open_loop",
+]

@@ -1,0 +1,211 @@
+"""Open- and closed-loop load drivers over a live queue-state service.
+
+Two classic driver shapes (see e.g. the coordinated-omission
+literature):
+
+* **closed loop** — ``concurrency`` workers, each issuing its next
+  request the moment the previous one completes.  Offered load tracks
+  the server's speed; this is the shape that drives a server to
+  saturation and is what the overload tests use.
+* **open loop** — requests are launched on a fixed arrival schedule
+  (``rate`` per second, evenly spaced) regardless of completions, the
+  shape real commuter traffic has.  Senders that fall behind schedule
+  fire immediately and the lag is visible in the recorded latency.
+
+Both drivers consume a *pre-planned* request sequence (see
+:mod:`repro.load.profile`): worker ``j`` of ``N`` walks
+``plan[j::N]`` cyclically, so the set of issued requests is a
+deterministic function of the plan and the worker count — timing is
+the only nondeterminism, and it is exactly the thing being measured.
+
+Transport is stdlib ``http.client`` with keep-alive; a worker that
+loses its connection records a transport error and reconnects.  Shed
+responses (429) are recorded but their ``Retry-After`` is deliberately
+ignored — a load generator's job is to keep offering load.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.load.recorder import LatencyRecorder
+
+
+@dataclass
+class DriverResult:
+    """What a driver did (the recorder holds the measurements)."""
+
+    issued: int
+    duration_s: float
+    workers: int
+    behind_schedule: int = 0  # open loop: sends that missed their slot
+
+
+def _issue(
+    connection: http.client.HTTPConnection, path: str
+) -> "tuple[int, float]":
+    """One request over a kept-alive connection; returns (status,
+    latency).  Raises on transport failure (caller reconnects)."""
+    start = time.perf_counter()
+    connection.request("GET", path)
+    response = connection.getresponse()
+    response.read()
+    latency = time.perf_counter() - start
+    if response.will_close:
+        connection.close()
+    return response.status, latency
+
+
+def _worker_paths(plan: Sequence[str], index: int, workers: int) -> List[str]:
+    paths = list(plan[index::workers])
+    return paths if paths else list(plan) or ["/v1/healthz"]
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    plan: Sequence[str],
+    concurrency: int,
+    duration_s: float,
+    recorder: LatencyRecorder,
+    warmup_s: float = 0.0,
+    timeout_s: float = 10.0,
+) -> DriverResult:
+    """Drive ``concurrency`` back-to-back workers for ``duration_s``."""
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive seconds")
+    start = time.monotonic()
+    warm_until = start + warmup_s
+    deadline = start + warmup_s + duration_s
+    issued = [0] * concurrency
+
+    def work(index: int) -> None:
+        paths = _worker_paths(plan, index, concurrency)
+        connection = http.client.HTTPConnection(
+            host, port, timeout=timeout_s
+        )
+        position = 0
+        try:
+            while True:
+                now = time.monotonic()
+                if now >= deadline:
+                    break
+                path = paths[position % len(paths)]
+                position += 1
+                warmup = now < warm_until
+                try:
+                    status, latency = _issue(connection, path)
+                except (OSError, http.client.HTTPException):
+                    recorder.record_error(warmup=warmup)
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout_s
+                    )
+                    continue
+                finally:
+                    issued[index] += 1
+                recorder.record(status, latency, warmup=warmup)
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=work, args=(i,), name=f"load-closed-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return DriverResult(
+        issued=sum(issued),
+        duration_s=time.monotonic() - start - warmup_s,
+        workers=concurrency,
+    )
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    plan: Sequence[str],
+    rate: float,
+    duration_s: float,
+    recorder: LatencyRecorder,
+    warmup_s: float = 0.0,
+    timeout_s: float = 10.0,
+    senders: int = 0,
+) -> DriverResult:
+    """Launch requests on a fixed ``rate``/s schedule for ``duration_s``.
+
+    The global schedule places request ``k`` at ``start + k/rate``;
+    sender ``j`` of ``N`` owns requests ``j, j+N, j+2N, ...``.  A
+    sender behind schedule fires immediately (counted in
+    ``behind_schedule``) — the schedule itself never slips, which is
+    what distinguishes an open-loop driver from a closed loop with
+    pacing.
+    """
+    if rate <= 0:
+        raise ValueError("open-loop rate must be positive requests/second")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive seconds")
+    if senders < 1:
+        # Enough senders that one slow response cannot stall the
+        # schedule at moderate rates; bounded so the client stays cheap.
+        senders = max(2, min(16, int(rate / 25) + 1))
+    total = int(rate * (warmup_s + duration_s))
+    start = time.monotonic()
+    warm_until = start + warmup_s
+    issued = [0] * senders
+    behind = [0] * senders
+
+    def work(index: int) -> None:
+        paths = _worker_paths(plan, index, senders)
+        connection = http.client.HTTPConnection(
+            host, port, timeout=timeout_s
+        )
+        position = 0
+        try:
+            for k in range(index, total, senders):
+                due = start + k / rate
+                now = time.monotonic()
+                if now < due:
+                    time.sleep(due - now)
+                elif now - due > 1.0 / rate:
+                    behind[index] += 1
+                path = paths[position % len(paths)]
+                position += 1
+                warmup = time.monotonic() < warm_until
+                try:
+                    status, latency = _issue(connection, path)
+                except (OSError, http.client.HTTPException):
+                    recorder.record_error(warmup=warmup)
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout_s
+                    )
+                    continue
+                finally:
+                    issued[index] += 1
+                recorder.record(status, latency, warmup=warmup)
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=work, args=(i,), name=f"load-open-{i}")
+        for i in range(senders)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return DriverResult(
+        issued=sum(issued),
+        duration_s=time.monotonic() - start - warmup_s,
+        workers=senders,
+        behind_schedule=sum(behind),
+    )

@@ -1,0 +1,199 @@
+"""Seeded, deterministic workload profiles over the serving API.
+
+A :class:`WorkloadProfile` is a named request mix — weights over the
+serving layer's route families (``/v1/spots``, ``/v1/spots/{id}/slots``,
+``/v1/citywide``, ``/v1/history/*``, ``/v1/metrics``) — and
+:func:`plan_requests` expands a profile into a concrete request
+sequence: a list of path-plus-query strings.
+
+Determinism is the load harness's core contract: the sequence is a
+pure function of ``(profile, seed, n, spot_ids, epoch_days)``.  Two
+runs with the same seed issue the byte-identical request stream (the
+Hypothesis suite pins this), which is what makes latency comparisons
+across server configurations meaningful — the *offered work* is held
+constant while the serving knobs vary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Route families a mix may weight.  Each name maps to a path builder
+#: in :func:`_build_path`.
+ROUTE_FAMILIES = (
+    "spots",
+    "slots",
+    "citywide",
+    "metrics",
+    "healthz",
+    "spot_history",
+    "history_citywide",
+    "history_patterns",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A named request mix: weights over :data:`ROUTE_FAMILIES`.
+
+    Weights need not sum to one; they are relative.  Every weighted
+    family must be a known route family and weights must be positive.
+    """
+
+    name: str
+    mix: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self):
+        if not self.mix:
+            raise ValueError("a workload profile needs at least one route")
+        for family, weight in self.mix:
+            if family not in ROUTE_FAMILIES:
+                raise ValueError(f"unknown route family: {family!r}")
+            if weight <= 0:
+                raise ValueError(
+                    f"weight for {family!r} must be positive, got {weight}"
+                )
+
+    @property
+    def families(self) -> List[str]:
+        return [family for family, _ in self.mix]
+
+    @property
+    def weights(self) -> List[float]:
+        return [weight for _, weight in self.mix]
+
+
+def _profile(name: str, **mix: float) -> WorkloadProfile:
+    return WorkloadProfile(name, tuple(sorted(mix.items())))
+
+
+#: Built-in profiles (``taxiqueue loadtest --profile <name>``).
+PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        # What a commuter-facing frontend mostly does: poll the live
+        # snapshot endpoints, occasionally drill into one spot.
+        _profile(
+            "read-heavy",
+            spots=0.45, citywide=0.25, slots=0.20,
+            metrics=0.05, healthz=0.05,
+        ),
+        # Everything the API serves, history included.
+        _profile(
+            "mixed",
+            spots=0.30, citywide=0.15, slots=0.15, metrics=0.05,
+            healthz=0.05, spot_history=0.15, history_citywide=0.10,
+            history_patterns=0.05,
+        ),
+        # Hammer the history routes: distinct query strings, the
+        # response-cache worst case.
+        _profile(
+            "history",
+            spot_history=0.45, history_citywide=0.30,
+            history_patterns=0.15, spots=0.10,
+        ),
+        # Pure hot-path cache behaviour.
+        _profile("snapshot-hot", spots=0.60, citywide=0.40),
+    )
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """A built-in profile by name.
+
+    Raises:
+        KeyError: for an unknown profile name (message lists the
+            known ones).
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(
+            f"unknown workload profile {name!r} (known: {known})"
+        ) from None
+
+
+def _build_path(
+    family: str,
+    rng: random.Random,
+    spot_ids: Sequence[str],
+    epoch_days: Sequence[int],
+) -> str:
+    """One concrete request path for a route family.
+
+    Families that need a spot id fall back to ``/v1/spots`` when the
+    target service exposes none (an empty snapshot is still a valid
+    load target).
+    """
+    if family == "spots":
+        return "/v1/spots"
+    if family == "citywide":
+        return "/v1/citywide"
+    if family == "metrics":
+        return "/v1/metrics"
+    if family == "healthz":
+        return "/v1/healthz"
+    if family == "history_patterns":
+        return "/v1/history/patterns"
+    if family == "history_citywide":
+        if epoch_days:
+            day = rng.choice(epoch_days)
+            return f"/v1/history/citywide?start_day={day}&end_day={day}"
+        return "/v1/history/citywide"
+    if not spot_ids:
+        return "/v1/spots"
+    spot_id = rng.choice(spot_ids)
+    if family == "slots":
+        return f"/v1/spots/{spot_id}/slots"
+    # spot_history: vary pagination so distinct query strings exercise
+    # the keyed response cache.
+    page = rng.randint(1, 5)
+    return f"/v1/spots/{spot_id}/history?page={page}&per_page=100"
+
+
+def plan_requests(
+    profile: WorkloadProfile,
+    seed: int,
+    n: int,
+    spot_ids: Sequence[str] = (),
+    epoch_days: Sequence[int] = (),
+) -> List[str]:
+    """Expand a profile into ``n`` concrete request paths.
+
+    Deterministic: same arguments, same list — always.  ``spot_ids``
+    and ``epoch_days`` are sorted before sampling so the caller's
+    ordering (e.g. a JSON payload's) cannot leak into the plan.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = random.Random(seed)
+    spot_ids = sorted(spot_ids)
+    epoch_days = sorted(epoch_days)
+    families = profile.families
+    weights = profile.weights
+    return [
+        _build_path(
+            rng.choices(families, weights=weights, k=1)[0],
+            rng,
+            spot_ids,
+            epoch_days,
+        )
+        for _ in range(n)
+    ]
+
+
+def plan_bytes(
+    profile: WorkloadProfile,
+    seed: int,
+    n: int,
+    spot_ids: Sequence[str] = (),
+    epoch_days: Sequence[int] = (),
+) -> bytes:
+    """The plan as one newline-joined byte string (the determinism
+    property compares these for byte identity)."""
+    return "\n".join(
+        plan_requests(profile, seed, n, spot_ids, epoch_days)
+    ).encode("ascii")

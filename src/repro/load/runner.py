@@ -1,0 +1,202 @@
+"""The load-test runner behind ``taxiqueue loadtest``.
+
+Ties the pieces together: discover the target's spot ids (so the plan
+can address real ``/v1/spots/{id}/...`` routes), expand the seeded
+workload profile into a deterministic request plan, drive it open- or
+closed-loop, and reduce the result to a :class:`LoadReport` plus SLO
+verdict.  :func:`format_report` renders the operator-facing summary.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.load.generator import DriverResult, run_closed_loop, run_open_loop
+from repro.load.profile import WorkloadProfile, get_profile, plan_requests
+from repro.load.recorder import LatencyRecorder, LoadReport
+
+#: Plan length headroom over the expected request count, so cycling a
+#: too-short plan (which would skew the mix) stays rare.
+PLAN_SLACK = 2.0
+MIN_PLAN = 1024
+
+
+@dataclass
+class LoadTestConfig:
+    """Everything one load run needs (CLI flags map 1:1 onto this)."""
+
+    url: str
+    profile: str = "read-heavy"
+    mode: str = "closed"  # "open" | "closed"
+    rate: float = 50.0  # open loop: arrivals/second
+    concurrency: int = 8  # closed loop: workers
+    duration_s: float = 10.0
+    warmup_s: float = 1.0
+    seed: int = 7
+    timeout_s: float = 10.0
+    slo_p99_s: Optional[float] = None
+    slo_error_rate: Optional[float] = None
+    spot_ids: Tuple[str, ...] = ()  # skip discovery when non-empty
+    epoch_days: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.mode not in ("open", "closed"):
+            raise ValueError(
+                f"mode must be 'open' or 'closed', got {self.mode!r}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive seconds")
+        if self.warmup_s < 0:
+            raise ValueError("warmup must be >= 0 seconds")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open-loop rate must be positive")
+        if self.mode == "closed" and self.concurrency < 1:
+            raise ValueError("closed-loop concurrency must be >= 1")
+
+
+class TargetError(RuntimeError):
+    """The target service could not be reached or understood."""
+
+
+def _split_host_port(url: str) -> Tuple[str, int]:
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.scheme not in ("", "http"):
+        raise TargetError(f"only http targets are supported, got {url!r}")
+    if not parts.hostname:
+        raise TargetError(f"cannot parse target url {url!r}")
+    return parts.hostname, parts.port or 80
+
+
+def discover_spots(url: str, timeout_s: float = 10.0) -> List[str]:
+    """The target's spot ids, from one ``GET /v1/spots``.
+
+    Raises:
+        TargetError: when the service is unreachable or the payload
+            is not the expected FeatureCollection shape.
+    """
+    endpoint = url.rstrip("/") + "/v1/spots"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=timeout_s) as response:
+            payload = json.loads(response.read())
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise TargetError(
+            f"cannot fetch {endpoint}: {exc} "
+            "(is 'taxiqueue serve' running at that address?)"
+        ) from exc
+    try:
+        return sorted(
+            feature["properties"]["spot_id"]
+            for feature in payload["collection"]["features"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise TargetError(
+            f"{endpoint} did not answer a spots FeatureCollection"
+        ) from exc
+
+
+def build_plan(config: LoadTestConfig, spot_ids: List[str]) -> List[str]:
+    """The deterministic request plan for one run."""
+    profile = get_profile(config.profile)
+    expected = (
+        config.rate * (config.duration_s + config.warmup_s)
+        if config.mode == "open"
+        # Closed loop: size for a fast local server; the driver cycles
+        # the plan if the run outpaces it.
+        else 2000.0 * config.concurrency * config.duration_s
+    )
+    n = max(MIN_PLAN, int(expected * PLAN_SLACK))
+    return plan_requests(
+        profile, config.seed, n, spot_ids, config.epoch_days
+    )
+
+
+def run_loadtest(
+    config: LoadTestConfig,
+) -> Tuple[LoadReport, DriverResult, List[str]]:
+    """One full load run: ``(report, driver_result, slo_breaches)``."""
+    host, port = _split_host_port(config.url)
+    spot_ids = (
+        list(config.spot_ids)
+        if config.spot_ids
+        else discover_spots(config.url, config.timeout_s)
+    )
+    plan = build_plan(config, spot_ids)
+    recorder = LatencyRecorder()
+    if config.mode == "open":
+        result = run_open_loop(
+            host, port, plan, config.rate, config.duration_s, recorder,
+            warmup_s=config.warmup_s, timeout_s=config.timeout_s,
+        )
+        offered = config.rate
+    else:
+        result = run_closed_loop(
+            host, port, plan, config.concurrency, config.duration_s,
+            recorder, warmup_s=config.warmup_s, timeout_s=config.timeout_s,
+        )
+        offered = (
+            result.issued / result.duration_s
+            if result.duration_s > 0
+            else None
+        )
+    report = recorder.report(
+        result.duration_s,
+        mode=config.mode,
+        profile=config.profile,
+        seed=config.seed,
+        offered_rps=offered,
+    )
+    breaches = report.slo_breaches(config.slo_p99_s, config.slo_error_rate)
+    return report, result, breaches
+
+
+def _fmt_latency(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 1e3:9.2f} ms"
+
+
+def format_report(
+    report: LoadReport,
+    result: DriverResult,
+    breaches: List[str],
+    config: LoadTestConfig,
+) -> str:
+    """The operator-facing run summary."""
+    load_line = (
+        f"  open-loop rate        {config.rate:g} req/s "
+        f"({result.workers} senders, {result.behind_schedule} behind "
+        "schedule)"
+        if config.mode == "open"
+        else f"  closed-loop workers   {result.workers}"
+    )
+    statuses = " ".join(
+        f"{status}:{count}" for status, count in sorted(report.statuses.items())
+    )
+    lines = [
+        f"loadtest — profile={report.profile} mode={report.mode} "
+        f"seed={report.seed}",
+        load_line,
+        f"  measured              {report.duration_s:.2f} s "
+        f"(+{config.warmup_s:g} s warmup, "
+        f"{report.warmup_discarded} requests discarded)",
+        f"  completed             {report.requests} requests "
+        f"({report.throughput_rps:.1f} req/s)",
+        f"  statuses              {statuses or '-'}",
+        f"  shed (429)            {report.shed}",
+        f"  errors                {report.errors} "
+        f"(rate {report.error_rate:.4f})",
+        f"  latency p50           {_fmt_latency(report.latency_p50_s)}",
+        f"  latency p95           {_fmt_latency(report.latency_p95_s)}",
+        f"  latency p99           {_fmt_latency(report.latency_p99_s)}",
+        f"  latency max           {_fmt_latency(report.latency_max_s)}",
+    ]
+    if config.slo_p99_s is not None or config.slo_error_rate is not None:
+        if breaches:
+            lines.append("  SLO                   BREACHED")
+            lines.extend(f"    - {breach}" for breach in breaches)
+        else:
+            lines.append("  SLO                   ok")
+    return "\n".join(lines)

@@ -37,6 +37,15 @@ HELP_TEXTS: Dict[str, str] = {
     "http.cache_misses": "Response-cache misses.",
     "http.not_modified": "Conditional requests answered 304.",
     "http.degraded": "Reads served from the last-good body.",
+    "http.cache_evictions": "Response-cache bodies evicted (LRU bound).",
+    "http.shed": "Requests shed with 429 by admission control.",
+    "http.shed.rate": "Requests shed by the token-bucket rate limit.",
+    "http.shed.inflight": "Requests shed by the in-flight budget.",
+    "http.shed.route": "Requests shed by a per-route concurrency cap.",
+    "http.shed.connection": "Connections refused by the connection budget.",
+    "http.inflight": "Requests currently inside the handlers.",
+    "http.inflight_peak": "High-water mark of concurrent requests.",
+    "admission.admitted": "Requests that passed every admission check.",
     "replay.records": "Records fed into the streaming monitor.",
     "replay.slots_finalized": "Spot-slots finalized by the monitor.",
     "replay.nonmonotonic_records": "Out-of-order records seen unbuffered.",

@@ -11,6 +11,9 @@ the reproduction:
   (``/v1/spots``, ``/v1/spots/{id}/slots``, ``/v1/citywide``,
   ``/v1/healthz``, ``/v1/metrics``) with ETag revalidation and TTL
   response caching;
+* :mod:`repro.service.admission` — token-bucket rate limiting,
+  in-flight budgets and per-route caps; over-budget requests are shed
+  with ``429 + Retry-After`` (see ``docs/load.md``);
 * :mod:`repro.service.metrics` — counters, gauges and latency
   histograms instrumented across server, store and ingest;
 * :mod:`repro.service.replay` — paced replay of a recorded day into the
@@ -21,6 +24,11 @@ the reproduction:
 See ``docs/service.md`` for endpoint and snapshot semantics.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
 from repro.service.app import QueueService, ServiceConfig
 from repro.service.http import QueueStateServer, Response, ResponseCache
 from repro.service.metrics import (
@@ -33,6 +41,9 @@ from repro.service.replay import StreamReplayer
 from repro.service.snapshot import SnapshotStore
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
     "Counter",
     "Gauge",
     "Histogram",

@@ -40,6 +40,16 @@ backend.  Degradations are counted in ``http.degraded``; pair the
 server with a :class:`~repro.resilience.ServiceWatchdog` so staleness
 is visible at ``/v1/metrics`` and ``/v1/healthz`` while the ingest
 path recovers.
+
+**Admission control.**  With ``max_inflight`` / ``rate_limit`` /
+``route_caps`` set, every route except ``/v1/healthz`` passes through
+an :class:`~repro.service.admission.AdmissionController` before any
+payload work; a request over budget is shed with ``429 Too Many
+Requests`` plus a ``Retry-After`` hint (never a 5xx, never an
+unbounded queue).  ``max_connections`` additionally bounds how many
+connection-handling threads the listener will run at once — an excess
+connection is answered with a raw 429 and closed before a handler
+thread parses anything.  See ``docs/load.md`` for the full contract.
 """
 
 from __future__ import annotations
@@ -47,13 +57,22 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs
 
+from repro.service.admission import AdmissionController
 from repro.service.metrics import MetricsRegistry
 from repro.service.snapshot import SnapshotStore
+
+#: Routes never subjected to admission control: liveness probes must
+#: keep answering while the service sheds load (that is their job).
+ADMISSION_EXEMPT_ROUTES = frozenset({"healthz"})
+
+#: Default bound on distinct cached bodies (see :class:`ResponseCache`).
+DEFAULT_CACHE_ENTRIES = 1024
 
 
 class _BadQuery(ValueError):
@@ -87,19 +106,37 @@ def _json_body(payload: dict) -> bytes:
 
 
 class ResponseCache:
-    """Per-path TTL cache of serialized response bodies.
+    """Bounded per-path TTL cache of serialized response bodies.
 
     An entry is served only while (a) the snapshot version it was built
     from is still current and (b) its TTL has not expired; either
     condition failing falls through to re-serialization.
+
+    Keys include the query string for history routes, so hostile or
+    merely diverse query mixes would grow the table without bound; the
+    cache therefore holds at most ``max_entries`` bodies and evicts
+    least-recently-used ones, reporting each eviction through
+    ``on_evict`` (the server counts them in ``http.cache_evictions``).
     """
 
-    def __init__(self, ttl_s: float):
+    def __init__(
+        self,
+        ttl_s: float,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        on_evict: Optional[Callable[[int], None]] = None,
+    ):
         if ttl_s < 0:
             raise ValueError("ttl must be non-negative")
+        if max_entries < 1:
+            raise ValueError("max_entries must hold at least one body")
         self.ttl_s = float(ttl_s)
-        self._entries: Dict[str, Tuple[int, float, bytes]] = {}
+        self.max_entries = int(max_entries)
+        self._on_evict = on_evict
+        self._entries: "OrderedDict[str, Tuple[int, float, bytes]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
+        self.evictions = 0
 
     def get(self, path: str, version: int) -> Optional[bytes]:
         if self.ttl_s == 0:
@@ -112,17 +149,26 @@ class ResponseCache:
             if cached_version != version or time.monotonic() >= expires:
                 del self._entries[path]
                 return None
+            self._entries.move_to_end(path)
             return body
 
     def put(self, path: str, version: int, body: bytes) -> None:
         if self.ttl_s == 0:
             return
+        evicted = 0
         with self._lock:
             self._entries[path] = (
                 version,
                 time.monotonic() + self.ttl_s,
                 body,
             )
+            self._entries.move_to_end(path)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted and self._on_evict is not None:
+            self._on_evict(evicted)
 
     def __len__(self) -> int:
         with self._lock:
@@ -162,6 +208,53 @@ class _Handler(BaseHTTPRequestHandler):
         """Silence per-request stderr logging; metrics cover it."""
 
 
+#: Raw shed answer for connections over the connection budget; sent
+#: before any request parsing, so it costs one syscall.
+_CONNECTION_SHED = (
+    b"HTTP/1.1 429 Too Many Requests\r\n"
+    b"Retry-After: 1\r\n"
+    b"Content-Length: 0\r\n"
+    b"Connection: close\r\n\r\n"
+)
+
+
+class _BoundedThreadingHTTPServer(ThreadingHTTPServer):
+    """A listener with a hard cap on concurrent connection threads.
+
+    ``ThreadingHTTPServer`` spawns one thread per accepted connection
+    and never says no; with keep-alive clients that is an unbounded
+    thread budget.  When the owning server sets ``connection_slots``,
+    a connection that finds no free slot is answered with a canned 429
+    and closed *before* a handler is constructed — the accept loop
+    never blocks and thread count stays bounded.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128  # listen(2) backlog
+    connection_slots: Optional[threading.BoundedSemaphore] = None
+
+    def process_request_thread(self, request, client_address):
+        slots = self.connection_slots
+        if slots is None:
+            super().process_request_thread(request, client_address)
+            return
+        if not slots.acquire(blocking=False):
+            app = getattr(self, "app", None)
+            if app is not None:
+                app.metrics.counter("http.shed").inc()
+                app.metrics.counter("http.shed.connection").inc()
+            try:
+                request.sendall(_CONNECTION_SHED)
+            except OSError:
+                pass
+            self.shutdown_request(request)
+            return
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            slots.release()
+
+
 class QueueStateServer:
     """The serving front of the live queue-state subsystem.
 
@@ -178,6 +271,21 @@ class QueueStateServer:
             :class:`~repro.history.HistoryQueryEngine`; enables the
             ``/v1/history/*`` and ``/v1/spots/{id}/history`` routes
             (404 without it).
+        cache_max_entries: LRU bound on distinct cached bodies.
+        max_inflight: global bound on concurrently handled requests;
+            excess requests are shed with 429 (None = unbounded).
+        rate_limit: sustained admitted requests/second through a token
+            bucket (None = no rate limiting).
+        rate_burst: token-bucket capacity override (defaults to one
+            second's worth of tokens).
+        route_caps: per-route concurrency bounds, keyed on route names
+            (``spots``, ``citywide``, ``spot_slots``, ...).
+        max_connections: bound on concurrent connection-handling
+            threads; excess connections get a canned 429 and are
+            closed unparsed (None = unbounded, stdlib behaviour).
+        tracer: optional :class:`repro.obs.Tracer`; when set, each
+            request runs under an ``http.request`` trace carrying the
+            route, status and shed reason.
     """
 
     def __init__(
@@ -189,16 +297,55 @@ class QueueStateServer:
         cache_ttl_s: float = 1.0,
         watchdog=None,
         history=None,
+        cache_max_entries: int = DEFAULT_CACHE_ENTRIES,
+        max_inflight: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[int] = None,
+        route_caps: Optional[Dict[str, int]] = None,
+        max_connections: Optional[int] = None,
+        tracer=None,
     ):
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.cache = ResponseCache(cache_ttl_s)
+        # The eviction counter is created lazily (first eviction) so a
+        # server that never overflows its cache leaves the instrument
+        # set — and the golden Prometheus exposition — untouched.
+        self.cache = ResponseCache(
+            cache_ttl_s,
+            max_entries=cache_max_entries,
+            on_evict=lambda n: self.metrics.counter(
+                "http.cache_evictions"
+            ).inc(n),
+        )
         self.watchdog = watchdog
         self.history = history
+        if tracer is None:
+            from repro.obs.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self.admission: Optional[AdmissionController] = None
+        if (
+            max_inflight is not None
+            or rate_limit is not None
+            or route_caps
+        ):
+            self.admission = AdmissionController(
+                max_inflight=max_inflight,
+                rate_limit=rate_limit,
+                burst=rate_burst,
+                route_caps=route_caps,
+                metrics=self.metrics,
+            )
         self._last_good: Dict[str, bytes] = {}
         self._last_good_lock = threading.Lock()
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _BoundedThreadingHTTPServer((host, port), _Handler)
+        if max_connections is not None:
+            if max_connections < 1:
+                raise ValueError("max_connections must be >= 1")
+            self._httpd.connection_slots = threading.BoundedSemaphore(
+                max_connections
+            )
         self._httpd.app = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._started_at = time.monotonic()
@@ -245,17 +392,60 @@ class QueueStateServer:
         """Materialize the response for one GET (socket-free, testable)."""
         path, _, query = path.partition("?")
         path = path.rstrip("/") or "/"
-        with self.metrics.time("http.request_seconds"):
-            try:
-                response = self._route(path, if_none_match, query)
-            except Exception:
-                # Reads must never 5xx; fall back to the freshest body
-                # this path ever served (see "Degraded serving" above).
-                response = self._degraded_response(path)
         route = self._route_name(path)
+        with self.metrics.time("http.request_seconds"), self.tracer.trace(
+            "http.request", route=route
+        ) as span:
+            response = self._admitted_route(path, route, if_none_match, query)
+            span.set(status=response.status)
+            if response.status == 429:
+                span.set(shed=response.headers.get("X-Shed-Reason"))
         self.metrics.counter(f"http.requests.{route}").inc()
         self.metrics.counter(f"http.responses.{response.status}").inc()
         return response
+
+    def _admitted_route(
+        self, path: str, route: str, if_none_match: Optional[str], query: str
+    ) -> Response:
+        """Admission gate in front of the route handlers (429 on shed)."""
+        admission = self.admission
+        if admission is None or route in ADMISSION_EXEMPT_ROUTES:
+            return self._guarded_route(path, if_none_match, query)
+        decision = admission.admit(route)
+        if not decision.admitted:
+            return self._shed_response(decision)
+        try:
+            return self._guarded_route(path, if_none_match, query)
+        finally:
+            admission.release(route)
+
+    def _guarded_route(
+        self, path: str, if_none_match: Optional[str], query: str
+    ) -> Response:
+        try:
+            return self._route(path, if_none_match, query)
+        except Exception:
+            # Reads must never 5xx; fall back to the freshest body
+            # this path ever served (see "Degraded serving" above).
+            return self._degraded_response(path)
+
+    def _shed_response(self, decision) -> Response:
+        """429 + Retry-After: the explicit backpressure answer."""
+        body = _json_body(
+            {
+                "error": "server overloaded, retry later",
+                "reason": decision.reason,
+                "retry_after_s": round(decision.retry_after_s, 3),
+            }
+        )
+        return Response(
+            429,
+            body,
+            headers={
+                "Retry-After": decision.retry_after_header,
+                "X-Shed-Reason": decision.reason or "overload",
+            },
+        )
 
     def _route_name(self, path: str) -> str:
         parts = path.strip("/").split("/")
@@ -433,7 +623,15 @@ class QueueStateServer:
     def _snapshot_response(
         self, path: str, if_none_match: Optional[str], payload_fn
     ) -> Response:
-        """ETag + TTL-cache wrapper shared by snapshot-derived routes."""
+        """ETag + TTL-cache wrapper shared by snapshot-derived routes.
+
+        The ETag of a 200 always equals the body's own ``snapshot``
+        field: the version is re-read *from the built payload* (which
+        the store assembles under its lock), so a publish racing the
+        build can never pair a newer body with an older tag — the
+        stress suite pins this.  A 304's tag was the store version at
+        the moment it was read.
+        """
         version = self.store.version
         etag = f'"{version}"'
         if if_none_match is not None and etag in (
@@ -453,10 +651,11 @@ class QueueStateServer:
             body = _json_body(payload)
         except Exception:
             return self._degraded_response(path)
-        self.cache.put(path, version, body)
+        built_version = payload.get("snapshot", version)
+        self.cache.put(path, built_version, body)
         with self._last_good_lock:
             self._last_good[path] = body
-        return Response(200, body, etag=etag)
+        return Response(200, body, etag=f'"{built_version}"')
 
     def _degraded_response(self, path: str) -> Response:
         """Serve the last-good body for ``path`` (or an explicit empty

@@ -34,6 +34,25 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of an ascending-sorted non-empty sequence by
+    the nearest-rank method (no interpolation).
+
+    Shared by :class:`Histogram` and the load harness's latency
+    recorder (:mod:`repro.load.recorder`) so both report identical
+    percentile semantics.
+
+    Raises:
+        ValueError: for an empty sequence or a quantile outside [0, 1].
+    """
+    if not ordered:
+        raise ValueError("nearest_rank needs at least one observation")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
 class Counter:
     """A monotonically increasing counter."""
 
@@ -170,8 +189,7 @@ class Histogram:
             if not self._ring:
                 return None
             ordered = sorted(self._ring)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
+        return nearest_rank(ordered, q)
 
     def summary(self) -> dict:
         """Count, sum, mean, max and the p50/p90/p99 quantiles."""
@@ -182,8 +200,7 @@ class Histogram:
             ordered = sorted(self._ring)
 
         def pick(q: float) -> float:
-            rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-            return ordered[rank]
+            return nearest_rank(ordered, q)
 
         return {
             "count": count,

@@ -1,0 +1,260 @@
+"""Load-harness unit and property tests.
+
+The two ISSUE satellites live here as Hypothesis properties:
+
+* **determinism** — for any profile/seed/size/spot-set, two plan
+  expansions produce the byte-identical request sequence;
+* **shed bound** — for any synthetic request timeline, a token bucket
+  of rate ``r`` and burst ``b`` admits at most ``b + r*T`` requests
+  over a span ``T`` (equivalently, sheds everything beyond that
+  arithmetic bound), and a timeline paced at or under the rate is
+  never shed at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load import (
+    PROFILES,
+    LatencyRecorder,
+    LoadTestConfig,
+    TargetError,
+    WorkloadProfile,
+    build_plan,
+    get_profile,
+    plan_bytes,
+    plan_requests,
+)
+from repro.load.runner import MIN_PLAN, _split_host_port, discover_spots
+from repro.service import TokenBucket
+from tests.test_admission import FakeClock
+
+SPOT_IDS = ["QS001", "QS002", "QS010"]
+
+profiles = st.sampled_from(sorted(PROFILES))
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+spot_sets = st.lists(
+    st.text(
+        alphabet="ABCDEFGHIJ0123456789", min_size=1, max_size=8
+    ),
+    max_size=5,
+    unique=True,
+)
+
+
+class TestProfiles:
+    def test_known_profiles_cover_the_endpoint_set(self):
+        families = {
+            family
+            for profile in PROFILES.values()
+            for family in profile.families
+        }
+        # The ISSUE's endpoint list, all reachable through some profile.
+        assert {
+            "spots", "slots", "citywide", "metrics",
+            "spot_history", "history_citywide", "history_patterns",
+        } <= families
+
+    def test_unknown_profile_message_lists_known(self):
+        with pytest.raises(KeyError, match="read-heavy"):
+            get_profile("nope")
+
+    def test_bad_mixes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("empty", ())
+        with pytest.raises(ValueError):
+            WorkloadProfile("neg", (("spots", -1.0),))
+        with pytest.raises(ValueError):
+            WorkloadProfile("unknown", (("teleport", 1.0),))
+
+    def test_plan_addresses_real_spots(self):
+        plan = plan_requests(get_profile("mixed"), 7, 500, SPOT_IDS)
+        spot_paths = [p for p in plan if "/v1/spots/" in p]
+        assert spot_paths
+        assert all(
+            path.split("/")[3] in SPOT_IDS for path in spot_paths
+        )
+
+    def test_plan_without_spots_degrades_to_spots_route(self):
+        plan = plan_requests(get_profile("history"), 7, 200, [])
+        assert all("/v1/spots/" not in path for path in plan)
+
+    def test_spot_id_order_does_not_leak_into_plan(self):
+        forward = plan_requests(get_profile("read-heavy"), 3, 300, SPOT_IDS)
+        backward = plan_requests(
+            get_profile("read-heavy"), 3, 300, list(reversed(SPOT_IDS))
+        )
+        assert forward == backward
+
+
+class TestPlanDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(profile=profiles, seed=seeds, n=st.integers(0, 300),
+           spot_ids=spot_sets)
+    def test_same_seed_byte_identical_plan(self, profile, seed, n, spot_ids):
+        first = plan_bytes(get_profile(profile), seed, n, spot_ids)
+        second = plan_bytes(get_profile(profile), seed, n, spot_ids)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        # Not guaranteed for arbitrary seeds, but pinned for the
+        # defaults so a constant-plan regression cannot hide.
+        a = plan_bytes(get_profile("mixed"), 1, 500, SPOT_IDS)
+        b = plan_bytes(get_profile("mixed"), 2, 500, SPOT_IDS)
+        assert a != b
+
+    def test_prefix_stability(self):
+        """A longer plan extends a shorter one: the sequence is a
+        stream, so n only truncates it."""
+        short = plan_requests(get_profile("mixed"), 11, 50, SPOT_IDS)
+        long = plan_requests(get_profile("mixed"), 11, 200, SPOT_IDS)
+        assert long[:50] == short
+
+
+class TestShedArithmeticBound:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        deltas=st.lists(
+            st.floats(
+                min_value=0.0, max_value=5.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        rate=st.floats(min_value=0.1, max_value=100.0),
+        burst=st.integers(min_value=1, max_value=20),
+    )
+    def test_admitted_never_exceeds_burst_plus_rate_times_span(
+        self, deltas, rate, burst
+    ):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+        admitted = shed = 0
+        span = 0.0
+        for delta in deltas:
+            clock.advance(delta)
+            span += delta
+            if bucket.try_acquire().admitted:
+                admitted += 1
+            else:
+                shed += 1
+        assert admitted + shed == len(deltas)
+        # The arithmetic bound: everything past burst + rate*span must
+        # have been shed (tolerance for float refill accumulation).
+        assert admitted <= burst + rate * span + 1e-6
+        assert shed >= len(deltas) - (burst + rate * span) - 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        rate=st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_paced_at_rate_never_sheds(self, n, rate):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=rate, burst=1, clock=clock)
+        for _ in range(n):
+            assert bucket.try_acquire().admitted
+            clock.advance(1.0 / rate)
+
+
+class TestRecorder:
+    def test_nearest_rank_percentiles_exact(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):  # 1..100 ms
+            recorder.record(200, ms / 1000.0)
+        report = recorder.report(duration_s=2.0)
+        assert report.requests == 100
+        assert report.throughput_rps == pytest.approx(50.0)
+        # nearest-rank over 100 ordered samples: round(q * 99) + 1 ms.
+        assert report.latency_p50_s == pytest.approx(0.051)
+        assert report.latency_p95_s == pytest.approx(0.095)
+        assert report.latency_p99_s == pytest.approx(0.099)
+        assert report.latency_max_s == pytest.approx(0.100)
+
+    def test_shed_counted_but_excluded_from_latency(self):
+        recorder = LatencyRecorder()
+        recorder.record(200, 0.010)
+        recorder.record(429, 0.000001)
+        recorder.record(429, 0.000001)
+        report = recorder.report(duration_s=1.0)
+        assert report.shed == 2
+        assert report.requests == 3
+        assert report.latency_max_s == pytest.approx(0.010)
+        # Shed is the admission contract working, not an error.
+        assert report.errors == 0
+        assert report.error_rate == 0.0
+
+    def test_5xx_and_transport_failures_are_errors(self):
+        recorder = LatencyRecorder()
+        recorder.record(200, 0.01)
+        recorder.record(500, 0.01)
+        recorder.record_error()
+        report = recorder.report(duration_s=1.0)
+        assert report.errors == 2
+        assert report.error_rate == pytest.approx(2 / 3)
+
+    def test_warmup_observations_discarded(self):
+        recorder = LatencyRecorder()
+        recorder.record(200, 9.0, warmup=True)
+        recorder.record_error(warmup=True)
+        recorder.record(200, 0.01)
+        report = recorder.report(duration_s=1.0)
+        assert report.requests == 1
+        assert report.warmup_discarded == 2
+        assert report.errors == 0
+        assert report.latency_max_s == pytest.approx(0.01)
+
+    def test_slo_gate(self):
+        recorder = LatencyRecorder()
+        for _ in range(99):
+            recorder.record(200, 0.010)
+        recorder.record(200, 0.500)
+        report = recorder.report(duration_s=1.0)
+        assert report.slo_breaches(slo_p99_s=1.0, slo_error_rate=0.0) == []
+        # nearest-rank p99 over these 100 samples is 10 ms.
+        breaches = report.slo_breaches(slo_p99_s=0.005)
+        assert len(breaches) == 1 and "p99" in breaches[0]
+        recorder.record_error()
+        report = recorder.report(duration_s=1.0)
+        assert report.slo_breaches(slo_error_rate=0.0)
+        assert not report.slo_breaches()
+
+    def test_empty_run_with_p99_slo_breaches(self):
+        report = LatencyRecorder().report(duration_s=1.0)
+        assert report.slo_breaches(slo_p99_s=0.1)
+
+
+class TestRunnerPlumbing:
+    def test_split_host_port(self):
+        assert _split_host_port("http://127.0.0.1:8080") == (
+            "127.0.0.1", 8080,
+        )
+        assert _split_host_port("http://localhost") == ("localhost", 80)
+        with pytest.raises(TargetError):
+            _split_host_port("https://secure.example")
+
+    def test_build_plan_sizes_to_offered_load(self):
+        config = LoadTestConfig(
+            url="http://x", mode="open", rate=100.0, duration_s=10.0,
+            warmup_s=0.0,
+        )
+        plan = build_plan(config, SPOT_IDS)
+        assert len(plan) >= max(MIN_PLAN, 2000)
+
+    def test_discover_unreachable_raises_target_error(self):
+        with pytest.raises(TargetError, match="taxiqueue serve"):
+            discover_spots("http://127.0.0.1:1", timeout_s=0.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadTestConfig(url="http://x", mode="sideways")
+        with pytest.raises(ValueError):
+            LoadTestConfig(url="http://x", duration_s=0.0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(url="http://x", mode="open", rate=0.0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(url="http://x", mode="closed", concurrency=0)

@@ -1,0 +1,302 @@
+"""Stress and overload acceptance tests for the serving layer.
+
+The multi-thread suites follow the hammer pattern of
+``test_metrics_concurrency.py``: a barrier lines every thread up, the
+threads mix reads against concurrent snapshot publishes, and any
+exception or coherence violation is collected and re-raised.
+
+The overload test is the ISSUE acceptance criterion verbatim: a real
+socket server offered closed-loop load at well over 3x its rate limit
+must stay up, answer only 2xx/304/429 (never a 5xx), keep the
+in-flight worker count inside ``max_inflight``, report its shed
+volume, and still pass the SLO gate at the admitted rate.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.load import LoadTestConfig, run_loadtest
+from repro.service import MetricsRegistry, QueueStateServer, SnapshotStore
+from tests.test_service import make_result, make_spot
+
+THREADS = 8
+ROUNDS = 400
+
+SNAPSHOT_PATHS = ("/v1/spots", "/v1/citywide", "/v1/spots/QS001/slots")
+
+
+def make_store() -> SnapshotStore:
+    store = SnapshotStore(
+        [make_spot(), make_spot("QS002")],
+        TimeSlotGrid(0.0, 86400.0, 1800.0),
+    )
+    store.apply(
+        [
+            make_result(slot=0, label=QueueType.C2),
+            make_result(spot_id="QS002", slot=1, label=QueueType.C4),
+        ]
+    )
+    return store
+
+
+def hammer(worker, n_threads=THREADS):
+    """Run ``worker(index)`` on N threads behind a barrier; re-raise
+    the first failure from any of them."""
+    barrier = threading.Barrier(n_threads)
+    failures = []
+
+    def run(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as exc:  # pragma: no cover - only on failure
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+class TestSnapshotCacheStress:
+    """ResponseCache + SnapshotStore under concurrent version bumps:
+    a reader must never observe a body whose embedded snapshot version
+    disagrees with the ETag it was served under."""
+
+    def test_readers_never_see_stale_version_bodies(self):
+        store = make_store()
+        server = QueueStateServer(store, MetricsRegistry(), cache_ttl_s=60.0)
+        stop = threading.Event()
+
+        def bumper():
+            slot = 2
+            while not stop.is_set():
+                store.apply([make_result(slot=slot % 48)])
+                slot += 1
+
+        publisher = threading.Thread(target=bumper, daemon=True)
+        publisher.start()
+        try:
+            def reader(index):
+                for round_no in range(ROUNDS):
+                    path = SNAPSHOT_PATHS[(index + round_no) % 3]
+                    response = server.respond(path)
+                    assert response.status == 200
+                    # Coherence: the ETag always matches the body's
+                    # own snapshot field, publishes notwithstanding.
+                    assert "X-Degraded" not in response.headers
+                    payload = json.loads(response.body)
+                    tag = int(response.etag.strip('"'))
+                    assert payload["snapshot"] == tag
+
+            hammer(reader)
+        finally:
+            stop.set()
+            publisher.join(timeout=5.0)
+
+    def test_cache_bound_holds_under_concurrent_eviction(self):
+        """8 threads hammering distinct keys against a tiny LRU bound:
+        the bound holds, nothing raises, every eviction is counted."""
+        store = make_store()
+        server = QueueStateServer(
+            store, MetricsRegistry(), cache_ttl_s=60.0, cache_max_entries=16
+        )
+        server.history = _FakeHistory()
+
+        def reader(index):
+            for round_no in range(ROUNDS):
+                path = f"/v1/history/citywide?start_day={index}_{round_no}"
+                assert server.respond(path).status == 200
+
+        hammer(reader)
+        assert len(server.cache) <= 16
+        evictions = server.metrics.counter("http.cache_evictions").value
+        assert evictions == THREADS * ROUNDS - len(server.cache)
+
+
+class _FakeHistory:
+    version = 1
+
+    def citywide(self, start_day=None, end_day=None):
+        return {"start": start_day, "end": end_day}
+
+
+class TestConcurrentConditionalGets:
+    """Interleaved publishes and conditional GETs: a 304 is only valid
+    for an ETag that was current at some instant during the request."""
+
+    def test_304_only_for_a_version_current_during_the_request(self):
+        store = make_store()
+        server = QueueStateServer(store, MetricsRegistry(), cache_ttl_s=60.0)
+        stop = threading.Event()
+
+        def bumper():
+            slot = 2
+            while not stop.is_set():
+                store.apply([make_result(slot=slot % 48)])
+                slot += 1
+
+        publisher = threading.Thread(target=bumper, daemon=True)
+        publisher.start()
+        try:
+            def reader(index):
+                for round_no in range(ROUNDS):
+                    path = SNAPSHOT_PATHS[(index + round_no) % 3]
+                    conditional_tag = store.etag
+                    version_before = store.version
+                    response = server.respond(
+                        path, if_none_match=conditional_tag
+                    )
+                    version_after = store.version
+                    tag = int(response.etag.strip('"'))
+                    if response.status == 304:
+                        # The matched tag must have been the current
+                        # version at some point while we were inside.
+                        assert tag == int(conditional_tag.strip('"'))
+                        assert version_before <= tag <= version_after
+                    else:
+                        assert response.status == 200
+                        payload = json.loads(response.body)
+                        assert payload["snapshot"] == tag
+
+            hammer(reader)
+        finally:
+            stop.set()
+            publisher.join(timeout=5.0)
+
+
+@pytest.fixture
+def live_server():
+    """A real socket server with tight admission bounds."""
+    server = QueueStateServer(
+        make_store(),
+        MetricsRegistry(),
+        cache_ttl_s=1.0,
+        max_inflight=4,
+        rate_limit=100.0,
+        rate_burst=20,
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestOverloadAcceptance:
+    def test_overload_sheds_cleanly_and_passes_slo_at_admitted_rate(
+        self, live_server
+    ):
+        config = LoadTestConfig(
+            url=live_server.url,
+            profile="read-heavy",
+            mode="closed",
+            concurrency=12,
+            duration_s=1.5,
+            warmup_s=0.25,
+            seed=42,
+            slo_p99_s=2.0,
+            slo_error_rate=0.0,
+        )
+        report, result, breaches = run_loadtest(config)
+
+        # The offered load genuinely overloads the 100 req/s limit.
+        assert report.offered_rps is not None
+        assert report.offered_rps >= 3 * 100.0
+
+        # Only the contract statuses, never a 5xx, never a transport
+        # error — the server stayed up the whole time.
+        assert set(report.statuses) <= {200, 304, 429}
+        assert report.errors == 0
+        assert report.shed > 0
+
+        # Admission really bounded concurrent work.
+        assert live_server.admission.peak_inflight <= 4
+        assert live_server.admission.inflight == 0  # all released
+
+        # The SLO gate judges the service at its admitted rate.
+        assert breaches == []
+
+        # Shedding is visible in the server's own metrics.
+        snapshot = live_server.metrics.snapshot()
+        assert snapshot["counters"]["http.shed"] > 0
+        assert snapshot["counters"]["http.responses.429"] > 0
+        assert snapshot["counters"]["http.shed.rate"] > 0
+
+        # And the server still answers after the storm.
+        with urllib.request.urlopen(
+            live_server.url + "/v1/healthz", timeout=5.0
+        ) as response:
+            assert response.status == 200
+
+    def test_loadtest_cli_end_to_end(self, live_server, capsys):
+        args = [
+            "loadtest",
+            "--url", live_server.url,
+            "--concurrency", "4",
+            "--duration", "0.8",
+            "--warmup", "0.1",
+            "--slo-p99", "2.0",
+            "--slo-error-rate", "0.0",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "shed (429)" in out
+        assert "SLO                   ok" in out
+
+    def test_loadtest_cli_exits_1_on_slo_breach(self, live_server, capsys):
+        args = [
+            "loadtest",
+            "--url", live_server.url,
+            "--concurrency", "2",
+            "--duration", "0.5",
+            "--warmup", "0.1",
+            "--slo-p99", "0.000000001",  # unreachably tight: must breach
+        ]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "BREACHED" in out
+
+
+class TestConnectionBudget:
+    def test_excess_connection_gets_canned_429_and_close(self):
+        server = QueueStateServer(
+            make_store(), MetricsRegistry(), max_connections=1
+        )
+        server.start()
+        holder = http.client.HTTPConnection(
+            server.host, server.port, timeout=5.0
+        )
+        try:
+            # Occupy the single connection slot with a live keep-alive
+            # connection (its handler thread holds the slot).
+            holder.request("GET", "/v1/spots")
+            assert holder.getresponse().read() is not None
+
+            # The next connection is shed before parsing: a canned 429
+            # and an immediate close.
+            with socket.create_connection(
+                (server.host, server.port), timeout=5.0
+            ) as sock:
+                raw = sock.recv(4096)
+                assert raw.startswith(b"HTTP/1.1 429")
+                assert b"Retry-After" in raw
+                assert sock.recv(4096) == b""  # closed by the server
+
+            snapshot = server.metrics.snapshot()
+            assert snapshot["counters"]["http.shed.connection"] >= 1
+        finally:
+            holder.close()
+            server.stop()

@@ -61,11 +61,16 @@ def make_store(metrics=None):
 def make_server(store, metrics, watchdog=None):
     """A QueueStateServer without a bound socket; tests drive
     :meth:`respond` directly."""
+    from repro.obs.tracer import NULL_TRACER
+
     server = QueueStateServer.__new__(QueueStateServer)
     server.store = store
     server.metrics = metrics
     server.cache = ResponseCache(0.0)
     server.watchdog = watchdog
+    server.history = None
+    server.admission = None
+    server.tracer = NULL_TRACER
     server._last_good = {}
     server._last_good_lock = threading.Lock()
     server._started_at = time.monotonic()
