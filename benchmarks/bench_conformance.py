@@ -1,0 +1,48 @@
+"""Cost profile of the conformance harness itself.
+
+The harness runs every execution path on every case, so its own
+throughput determines how many seeds CI can afford.  This bench times
+one full seven-check case at bench scale and reports per-check cost
+and record throughput — the number to watch when adding checks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.conformance import run_case
+from repro.conformance.matrix import ConformanceCase
+
+
+def test_conformance_case_cost(benchmark, bench_day):
+    case = ConformanceCase(
+        name="bench",
+        seed=bench_day.config.seed,
+        coverage=bench_day.config.observed_fraction,
+    )
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: run_case(case, store=bench_day.store, shrink=False),
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+
+    assert not report.divergent, [c.name for c in report.failed_checks]
+    throughput = report.records / elapsed if elapsed > 0 else 0.0
+
+    lines = [
+        "== Conformance: one full case at bench scale ==",
+        f"(fleet {bench_day.config.fleet_size}, "
+        f"{report.spots} spots, {report.records} cleaned records)",
+        "",
+        f"{'checks run':<28}{len(report.checks):>12}",
+        f"{'case wall time':<28}{elapsed:>11.1f}s",
+        f"{'records/s through harness':<28}{throughput:>12.0f}",
+        "",
+        "verdict: " + ("conformant" if not report.divergent
+                       else "DIVERGENT"),
+    ]
+    emit("conformance", lines)

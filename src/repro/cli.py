@@ -884,6 +884,221 @@ def cmd_history_export(args: argparse.Namespace) -> int:
     return 1 if store.corrupt_days else 0
 
 
+# -- conformance ------------------------------------------------------------
+
+
+def _conformance_inputs(args: argparse.Namespace):
+    """``(cases, store, bootstrap)`` from run/shrink arguments, or None
+    after printing a usage error (exit 2 at the caller)."""
+    from repro.conformance.matrix import csv_case, default_matrix
+
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return None
+    if not 0.0 < args.kill_frac < 1.0:
+        print("error: --kill-frac must be in (0, 1)", file=sys.stderr)
+        return None
+    if args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return None
+    if args.disorder_window < 0:
+        print("error: --disorder-window must be >= 0", file=sys.stderr)
+        return None
+    if args.input is None:
+        if getattr(args, "seeds", 1) < 1:
+            print("error: --seeds must be >= 1", file=sys.stderr)
+            return None
+        from repro.conformance.matrix import DEFAULT_SEED_BASE
+
+        cases = default_matrix(
+            getattr(args, "seeds", 1),
+            seed_base=(
+                args.seed_base
+                if args.seed_base is not None
+                else DEFAULT_SEED_BASE
+            ),
+            workers=args.workers,
+        )
+        return cases, None, None
+    store = _load_store(args.input)
+    if store is None:
+        return None
+    bootstrap = None
+    if args.bootstrap is not None:
+        from repro.conformance.canonical import DayBootstrap
+
+        try:
+            bootstrap = DayBootstrap.load(args.bootstrap)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot load bootstrap {args.bootstrap}: {exc}",
+                file=sys.stderr,
+            )
+            return None
+    case = csv_case(
+        Path(args.input).stem,
+        min_pts=args.min_pts,
+        coverage=args.coverage,
+        workers=args.workers if args.workers is not None else 2,
+        disorder_window_s=args.disorder_window,
+        kill_frac=args.kill_frac,
+        checkpoint_every=args.checkpoint_every,
+    )
+    return [case], store, bootstrap
+
+
+def _conformance_checks(args: argparse.Namespace):
+    """Parsed ``--checks`` list, or None on an unknown name."""
+    from repro.conformance.runner import ALL_CHECKS
+
+    if not args.checks:
+        return list(ALL_CHECKS)
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = [c for c in checks if c not in ALL_CHECKS]
+    if unknown:
+        print(
+            f"error: unknown checks: {', '.join(unknown)} "
+            f"(have: {', '.join(ALL_CHECKS)})",
+            file=sys.stderr,
+        )
+        return None
+    return checks
+
+
+def _conformance_fault(args: argparse.Namespace) -> bool:
+    """Validate ``--inject-fault``; prints the test-only warning."""
+    if args.inject_fault is None:
+        return True
+    from repro.conformance.faults import FAULTS
+
+    if args.inject_fault not in FAULTS:
+        print(
+            f"error: unknown fault {args.inject_fault!r} "
+            f"(have: {', '.join(sorted(FAULTS))})",
+            file=sys.stderr,
+        )
+        return False
+    print(
+        f"warning: test-only fault {args.inject_fault!r} is patched in — "
+        "divergences are expected",
+        file=sys.stderr,
+    )
+    return True
+
+
+def cmd_conformance_run(args: argparse.Namespace) -> int:
+    """Run the conformance matrix (or one input day) through every
+    execution path; exit 1 on any divergence."""
+    from repro.conformance.report import format_report, format_summary
+    from repro.conformance.runner import run_matrix
+    from repro.service.metrics import MetricsRegistry
+
+    inputs = _conformance_inputs(args)
+    checks = _conformance_checks(args)
+    if inputs is None or checks is None or not _conformance_fault(args):
+        return 2
+    cases, store, bootstrap = inputs
+    tracer, trace_writer = _build_tracer(args)
+    if tracer is None:
+        return 2
+    metrics = MetricsRegistry()
+    try:
+        reports = run_matrix(
+            cases,
+            store=store,
+            bootstrap=bootstrap,
+            checks=checks,
+            shrink=not args.no_shrink,
+            shrink_max_runs=args.shrink_max_runs,
+            out_dir=args.out,
+            fault=args.inject_fault,
+            metrics=metrics,
+            tracer=tracer,
+            progress=(
+                None
+                if args.json
+                else lambda report: print(format_report(report))
+            ),
+        )
+    finally:
+        _close_tracer(trace_writer)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=1))
+    else:
+        print(format_summary(reports))
+    return 1 if any(r.divergent for r in reports) else 0
+
+
+def cmd_conformance_shrink(args: argparse.Namespace) -> int:
+    """Shrink a diverging input day to a minimal repro; exit 0 when a
+    divergence was found and reduced, 1 when the day is conformant."""
+    from repro.conformance.report import format_report
+    from repro.conformance.runner import run_case
+    from repro.service.metrics import MetricsRegistry
+
+    inputs = _conformance_inputs(args)
+    checks = _conformance_checks(args)
+    if inputs is None or checks is None or not _conformance_fault(args):
+        return 2
+    cases, store, bootstrap = inputs
+    tracer, trace_writer = _build_tracer(args)
+    if tracer is None:
+        return 2
+    metrics = MetricsRegistry()
+    try:
+        report = run_case(
+            cases[0],
+            store=store,
+            bootstrap=bootstrap,
+            checks=checks,
+            shrink=True,
+            shrink_max_runs=args.shrink_max_runs,
+            out_dir=args.out,
+            fault=args.inject_fault,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    finally:
+        _close_tracer(trace_writer)
+    print(format_report(report))
+    if not report.divergent:
+        print("no divergence found; nothing to shrink")
+        return 1
+    return 0
+
+
+def cmd_conformance_report(args: argparse.Namespace) -> int:
+    """Summarize the report.json files a previous --out run wrote."""
+    from repro.conformance.report import (
+        format_loaded_summary,
+        load_reports,
+    )
+
+    try:
+        reports = load_reports(args.dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for report in reports:
+        state = "DIVERGENT" if report.get("divergent") else "conformant"
+        failed = [
+            check["name"]
+            for check in report.get("checks", [])
+            if not check.get("ok")
+        ]
+        line = f"case {report['name']}: {state}"
+        if failed:
+            line += f" ({', '.join(failed)})"
+        shrink = report.get("shrink")
+        if shrink and "minimal_records" in shrink:
+            line += (
+                f" — shrunk to {shrink['minimal_records']} records"
+            )
+        print(line)
+    print(format_loaded_summary(reports))
+    return 1 if any(r.get("divergent") for r in reports) else 0
+
+
 def _bbox_from_args(args: argparse.Namespace, store: MdtLogStore) -> BBox:
     if args.bbox:
         west, south, east, north = (float(x) for x in args.bbox.split(","))
@@ -1127,6 +1342,115 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sum.add_argument("file", help="JSONL trace file (from --trace-out)")
     p_sum.set_defaults(func=cmd_trace_summarize)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differential verification of the four execution paths "
+        "(see docs/conformance.md)",
+    )
+    conf_sub = p_conf.add_subparsers(
+        dest="conformance_command", required=True
+    )
+
+    def _add_conformance_case_args(p, with_seeds: bool) -> None:
+        if with_seeds:
+            p.add_argument(
+                "--seeds", type=int, default=5,
+                help="number of simulated matrix cases (default %(default)s)",
+            )
+        p.add_argument(
+            "--seed-base", type=int, default=None,
+            help="first matrix seed (default: the fixed harness base)",
+        )
+        p.add_argument(
+            "--input", default=None, metavar="CSV",
+            help="check one day from a log CSV instead of the matrix",
+        )
+        p.add_argument(
+            "--bootstrap", default=None, metavar="JSON",
+            help="frozen spot/threshold/grid context for --input (repro "
+            "mode; written next to every shrunk minimal day)",
+        )
+        p.add_argument(
+            "--min-pts", type=int, default=20,
+            help="DBSCAN min_pts for --input days (default %(default)s)",
+        )
+        p.add_argument(
+            "--coverage", type=float, default=1.0,
+            help="observed fleet fraction of --input days "
+            "(default %(default)s)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="sharded-path worker count (default: varies per case)",
+        )
+        p.add_argument(
+            "--disorder-window", type=float, default=120.0, metavar="S",
+            help="bounded-lateness window for the disorder comparison; "
+            "0 disables it (default %(default)s)",
+        )
+        p.add_argument(
+            "--kill-frac", type=float, default=0.5,
+            help="injected-crash position as a stream fraction "
+            "(default %(default)s)",
+        )
+        p.add_argument(
+            "--checkpoint-every", type=int, default=500, metavar="N",
+            help="checkpoint cadence of the kill-restart path "
+            "(default %(default)s)",
+        )
+        p.add_argument(
+            "--checks", default=None,
+            help="comma-separated subset of checks to run (default: all)",
+        )
+        p.add_argument(
+            "--out", default=None, metavar="DIR",
+            help="write per-case report.json plus divergence artifacts "
+            "(minimal_day.csv, bootstrap.json, repro.sh) here",
+        )
+        p.add_argument(
+            "--shrink-max-runs", type=int, default=400, metavar="N",
+            help="predicate budget of the ddmin reduction "
+            "(default %(default)s)",
+        )
+        p.add_argument(
+            "--inject-fault", default=None, metavar="NAME",
+            help="patch in a named test-only fault "
+            "(see repro.conformance.faults) to prove the harness "
+            "catches it",
+        )
+        _add_trace_args(p)
+
+    p_cr = conf_sub.add_parser(
+        "run",
+        help="run the seeded matrix (or one --input day) through all "
+        "four execution paths; exit 1 on any divergence",
+    )
+    _add_conformance_case_args(p_cr, with_seeds=True)
+    p_cr.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without reducing them to minimal days",
+    )
+    p_cr.add_argument(
+        "--json", action="store_true",
+        help="machine-readable per-case reports on stdout",
+    )
+    p_cr.set_defaults(func=cmd_conformance_run)
+
+    p_cs = conf_sub.add_parser(
+        "shrink",
+        help="reduce a diverging day to a minimal reproducing CSV; "
+        "exit 0 when shrunk, 1 when the day is conformant",
+    )
+    _add_conformance_case_args(p_cs, with_seeds=False)
+    p_cs.set_defaults(func=cmd_conformance_shrink)
+
+    p_crep = conf_sub.add_parser(
+        "report",
+        help="summarize the report.json files of a previous --out run",
+    )
+    p_crep.add_argument("dir", help="the --out directory of a prior run")
+    p_crep.set_defaults(func=cmd_conformance_report)
 
     p_hist = sub.add_parser(
         "history",

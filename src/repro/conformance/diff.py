@@ -1,0 +1,66 @@
+"""Structural diff of canonical JSON values.
+
+A conformance comparison that fails as ``'97kB of JSON' != '97kB of
+JSON'`` is useless; :func:`diff_values` walks two JSON-able values in
+lockstep and reports the *paths* where they differ, bounded so a
+totally-divergent pair cannot flood a report.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Stop collecting differences after this many per comparison.
+DEFAULT_LIMIT = 25
+
+
+def diff_values(left, right, path: str = "$", limit: int = DEFAULT_LIMIT) -> List[str]:
+    """Paths at which two JSON-able values differ (empty = equal).
+
+    Values must be plain JSON types (dict/list/str/num/bool/None);
+    floats compare exactly — the harness's equality classes are
+    bit-for-bit by design.
+    """
+    out: List[str] = []
+    _walk(left, right, path, out, limit)
+    return out
+
+
+def _walk(left, right, path: str, out: List[str], limit: int) -> None:
+    if len(out) >= limit:
+        return
+    if type(left) is not type(right) and not (
+        isinstance(left, (int, float))
+        and isinstance(right, (int, float))
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    ):
+        out.append(f"{path}: type {_name(left)} != {_name(right)}")
+        return
+    if isinstance(left, dict):
+        for key in sorted(set(left) | set(right)):
+            if len(out) >= limit:
+                return
+            if key not in left:
+                out.append(f"{path}.{key}: only in right")
+            elif key not in right:
+                out.append(f"{path}.{key}: only in left")
+            else:
+                _walk(left[key], right[key], f"{path}.{key}", out, limit)
+        return
+    if isinstance(left, list):
+        if len(left) != len(right):
+            out.append(
+                f"{path}: length {len(left)} != {len(right)}"
+            )
+        for i, (a, b) in enumerate(zip(left, right)):
+            if len(out) >= limit:
+                return
+            _walk(a, b, f"{path}[{i}]", out, limit)
+        return
+    if left != right:
+        out.append(f"{path}: {left!r} != {right!r}")
+
+
+def _name(value) -> str:
+    return "null" if value is None else type(value).__name__

@@ -1,0 +1,100 @@
+"""Named *test-only* fault patches that prove the harness has teeth.
+
+A conformance harness that always reports green is indistinguishable
+from one that checks nothing.  Each fault here monkey-patches one
+execution path's copy of a shared algorithm — the seam is the module
+attribute the path imported at load time, so the *other* paths keep the
+genuine code — and the harness must catch, shrink and emit a repro for
+the resulting divergence.
+
+These are not chaos faults (crashes, disorder — see
+:mod:`repro.resilience.chaos`); they simulate the bug class the
+harness exists for: a refactor that silently changes one path's
+results.  Never active unless explicitly requested via
+``taxiqueue conformance run --inject-fault NAME`` or a test.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Callable, ContextManager, Dict, Iterator
+
+
+@contextlib.contextmanager
+def _label_flip() -> Iterator[None]:
+    """Corrupt the *streaming* QCD stage: any decided non-C1 label on a
+    slot with arrivals is flipped to C1 (taxi queue).
+
+    Patches ``repro.stream.monitor.label_slot`` — the batch tiers call
+    ``repro.core.qcd`` directly and stay correct, so only the streaming
+    QCD oracle can see this.
+    """
+    import repro.stream.monitor as monitor_mod
+    from repro.core.qcd import label_slot as real_label_slot
+    from repro.core.types import QueueType, SlotLabel
+
+    def flipped(features, thresholds):
+        label = real_label_slot(features, thresholds)
+        if features.n_arrivals > 0 and label.routine != 0 and (
+            label.label is not QueueType.C1
+        ):
+            return SlotLabel(
+                slot=label.slot, label=QueueType.C1, routine=label.routine
+            )
+        return label
+
+    original = monitor_mod.label_slot
+    monitor_mod.label_slot = flipped
+    try:
+        yield
+    finally:
+        monitor_mod.label_slot = original
+
+
+@contextlib.contextmanager
+def _littles_drift() -> Iterator[None]:
+    """Corrupt the *streaming* feature stage: every positive queue
+    length is inflated by 50%, breaking L = lambda * W.
+
+    Patches ``repro.stream.monitor.compute_slot_features``; caught by
+    the Little's-law invariant on streaming output (the labels stay
+    self-consistent with the drifted features, so the QCD oracle alone
+    would miss it).
+    """
+    import repro.stream.monitor as monitor_mod
+    from repro.core.features import (
+        compute_slot_features as real_compute,
+    )
+
+    def drifted(events, grid, amplification):
+        features = real_compute(events, grid, amplification)
+        return [
+            dataclasses.replace(f, queue_length=f.queue_length * 1.5)
+            if f.queue_length > 0
+            else f
+            for f in features
+        ]
+
+    original = monitor_mod.compute_slot_features
+    monitor_mod.compute_slot_features = drifted
+    try:
+        yield
+    finally:
+        monitor_mod.compute_slot_features = original
+
+
+#: Registry of injectable faults, keyed by CLI name.
+FAULTS: Dict[str, Callable[[], ContextManager[None]]] = {
+    "label-flip": _label_flip,
+    "littles-drift": _littles_drift,
+}
+
+
+def fault_context(name: str) -> ContextManager[None]:
+    """The context manager for one named fault.
+
+    Raises:
+        KeyError: for an unknown fault name.
+    """
+    return FAULTS[name]()

@@ -1,0 +1,142 @@
+"""Paper-derived invariants checked on every conformance run.
+
+Unlike the differential comparisons (which need two runs), these hold
+on a *single* run's output, straight from the paper's definitions:
+
+* **WTE interval ordering and PAYMENT-reset** (section 5.1) — every
+  wait interval is non-negative and starts from a queueing-compatible
+  state (FREE, ONCALL or ARRIVED; a PAYMENT record resets the wait
+  start, so no event may begin there), and each spot's events are
+  sorted by start time;
+* **Little's-law consistency** (section 5.2) — the 5-tuple's queue
+  length L equals lambda * W recomputed from the stored arrival count
+  and mean wait over the slot length, exactly (same arithmetic as
+  ``repro.core.features``, so ``==`` is the right comparison);
+* **snapshot version monotonicity** — each non-empty publish bumps the
+  serving version by exactly one, never backwards;
+* **history byte-identity** — segment files written by a kill-restarted
+  run digest identically to a straight run's (checked via
+  :meth:`repro.history.segments.SegmentStore.digests`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import SpotAnalysis
+from repro.core.types import SlotFeatures, TimeSlotGrid
+from repro.core.wte import WaitEvent
+from repro.queueing.littles_law import little_queue_length
+from repro.states.states import TaxiState
+from repro.stream.monitor import SlotResult
+
+#: States a wait interval may start from (Definition 4; PAYMENT resets).
+WAIT_START_STATES = frozenset(
+    {TaxiState.FREE, TaxiState.ONCALL, TaxiState.ARRIVED}
+)
+
+
+def check_wait_events(analyses: Dict[str, SpotAnalysis]) -> List[str]:
+    """WTE interval ordering + PAYMENT-reset over every spot."""
+    problems: List[str] = []
+    for spot_id in sorted(analyses):
+        events = analyses[spot_id].wait_events
+        prev_start: Optional[float] = None
+        for event in events:
+            if event.wait_s < 0:
+                problems.append(
+                    f"{spot_id}: negative wait {event.wait_s:.1f}s "
+                    f"(taxi {event.taxi_id})"
+                )
+            if event.start_state not in WAIT_START_STATES:
+                problems.append(
+                    f"{spot_id}: wait event starts from "
+                    f"{event.start_state.value} (taxi {event.taxi_id}) — "
+                    f"PAYMENT-reset violated"
+                )
+            if prev_start is not None and event.start_ts < prev_start:
+                problems.append(
+                    f"{spot_id}: wait events not ordered by start_ts"
+                )
+            prev_start = event.start_ts
+    return problems
+
+
+def _check_littles_law(
+    features: SlotFeatures, grid: TimeSlotGrid, where: str
+) -> Optional[str]:
+    lo, hi = grid.bounds(features.slot)
+    slot_len = hi - lo
+    if features.mean_wait_s is None or slot_len <= 0:
+        expected = 0.0
+    else:
+        expected = little_queue_length(
+            features.n_arrivals / slot_len, features.mean_wait_s
+        )
+    if expected != features.queue_length:
+        return (
+            f"{where}: queue_length {features.queue_length!r} != "
+            f"lambda*W = {expected!r} (Little's law)"
+        )
+    return None
+
+
+def check_littles_law_batch(
+    analyses: Dict[str, SpotAnalysis], grid: TimeSlotGrid
+) -> List[str]:
+    """L == lambda * W for every batch slot's 5-tuple."""
+    problems: List[str] = []
+    for spot_id in sorted(analyses):
+        for features in analyses[spot_id].features:
+            problem = _check_littles_law(
+                features, grid, f"{spot_id} slot {features.slot}"
+            )
+            if problem:
+                problems.append(problem)
+    return problems
+
+
+def check_littles_law_streaming(
+    results: Sequence[SlotResult], grid: TimeSlotGrid
+) -> List[str]:
+    """L == lambda * W for every finalized streaming slot."""
+    problems: List[str] = []
+    for result in results:
+        problem = _check_littles_law(
+            result.features,
+            grid,
+            f"stream {result.spot_id} slot {result.slot}",
+        )
+        if problem:
+            problems.append(problem)
+    return problems
+
+
+def check_version_monotonic(versions: Sequence[int]) -> List[str]:
+    """Every non-empty publish advances the version by exactly one."""
+    problems: List[str] = []
+    for i in range(1, len(versions)):
+        if versions[i] != versions[i - 1] + 1:
+            problems.append(
+                f"publish {i}: version went {versions[i - 1]} -> "
+                f"{versions[i]} (must increase by 1)"
+            )
+    return problems
+
+
+def check_history_identity(
+    straight: Optional[Dict[str, str]],
+    restarted: Optional[Dict[str, str]],
+) -> List[str]:
+    """Segment files of straight vs kill-restarted runs, byte for byte."""
+    if straight is None or restarted is None:
+        return []
+    problems: List[str] = []
+    for name in sorted(set(straight) | set(restarted)):
+        a, b = straight.get(name), restarted.get(name)
+        if a != b:
+            problems.append(
+                f"history segment {name}: straight run digest "
+                f"{a or 'missing'} != kill-restart digest {b or 'missing'}"
+            )
+    return problems

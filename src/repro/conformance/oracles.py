@@ -1,0 +1,133 @@
+"""Brute-force reference oracles.
+
+Each oracle recomputes part of a run's output with the slowest, most
+obviously correct method available and returns a list of human-readable
+divergence strings (empty = conformant):
+
+* :func:`check_bruteforce_spots` — tier-1 spots against DBSCAN over the
+  O(n^2) :class:`~repro.cluster.neighbors.BruteForceNeighbors` backend
+  (no grid index, no R-tree — a plain radius scan);
+* :func:`check_batch_recompute` — every spot's 5-tuple features
+  recomputed directly from its wait events, and every slot label
+  recomputed by applying QCD to those features;
+* :func:`check_streaming_labels` — every finalized
+  :class:`~repro.stream.monitor.SlotResult` relabelled from its own
+  features and the bootstrap thresholds.  This is the oracle that
+  catches a corrupted streaming QCD stage (see
+  :mod:`repro.conformance.faults`): the batch paths never see it
+  because streaming output is not exactly comparable to batch output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.neighbors import BruteForceNeighbors
+from repro.conformance.canonical import DayBootstrap
+from repro.conformance.diff import diff_values
+from repro.core.engine import QueueAnalyticEngine, SpotAnalysis
+from repro.core.features import compute_slot_features
+from repro.core.qcd import disambiguate as qcd_disambiguate
+from repro.core.qcd import label_slot
+from repro.core.spots import SpotDetectionResult, detect_queue_spots
+from repro.core.types import QueueType, TimeSlotGrid
+from repro.stream.monitor import SlotResult
+from repro.trace.log_store import MdtLogStore
+
+
+def check_bruteforce_spots(
+    engine: QueueAnalyticEngine,
+    cleaned: MdtLogStore,
+    detection: SpotDetectionResult,
+) -> List[str]:
+    """Compare tier-1 output against the naive-radius DBSCAN oracle."""
+    reference = detect_queue_spots(
+        cleaned,
+        engine.zones,
+        engine.projection,
+        engine.config.detection,
+        neighbors_factory=BruteForceNeighbors,
+    )
+    problems: List[str] = []
+    if detection.noise_count != reference.noise_count:
+        problems.append(
+            f"noise_count {detection.noise_count} != brute-force "
+            f"{reference.noise_count}"
+        )
+    from dataclasses import asdict
+
+    problems.extend(
+        diff_values(
+            [asdict(s) for s in detection.spots],
+            [asdict(s) for s in reference.spots],
+            path="spots",
+        )
+    )
+    return problems
+
+
+def check_batch_recompute(
+    analyses: Dict[str, SpotAnalysis], grid: TimeSlotGrid, amplification
+) -> List[str]:
+    """Recompute WTE-derived features and QCD labels from first
+    principles for every spot and compare exactly."""
+    problems: List[str] = []
+    for spot_id in sorted(analyses):
+        analysis = analyses[spot_id]
+        expected = compute_slot_features(
+            analysis.wait_events, grid, amplification
+        )
+        if expected != analysis.features:
+            problems.append(
+                f"{spot_id}: stored 5-tuple features differ from direct "
+                f"recomputation over the spot's wait events"
+            )
+            continue
+        if analysis.thresholds is None:
+            bad = [
+                label
+                for label in analysis.labels
+                if label.label is not QueueType.UNIDENTIFIED
+                or label.routine != 0
+            ]
+            if bad:
+                problems.append(
+                    f"{spot_id}: no thresholds derivable but "
+                    f"{len(bad)} slots carry a decided label"
+                )
+            continue
+        expected_labels = qcd_disambiguate(expected, analysis.thresholds)
+        if expected_labels != analysis.labels:
+            problems.append(
+                f"{spot_id}: stored labels differ from QCD applied "
+                f"directly to the recomputed features"
+            )
+    return problems
+
+
+def check_streaming_labels(
+    results: Sequence[SlotResult], boot: DayBootstrap
+) -> List[str]:
+    """Relabel every finalized slot from its own features."""
+    thresholds = boot.stream_thresholds()
+    problems: List[str] = []
+    for result in results:
+        th = thresholds.get(result.spot_id)
+        if th is None:
+            if (
+                result.label.label is not QueueType.UNIDENTIFIED
+                or result.label.routine != 0
+            ):
+                problems.append(
+                    f"{result.spot_id} slot {result.slot}: labelled "
+                    f"{result.label.label.value} with no thresholds"
+                )
+            continue
+        expected = label_slot(result.features, th)
+        if expected != result.label:
+            problems.append(
+                f"{result.spot_id} slot {result.slot}: streaming label "
+                f"{result.label.label.value}/r{result.label.routine} != "
+                f"QCD oracle {expected.label.value}/r{expected.routine}"
+            )
+    return problems

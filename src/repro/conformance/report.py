@@ -1,0 +1,107 @@
+"""Human-readable and persisted forms of conformance results.
+
+``taxiqueue conformance run`` prints :func:`format_report` per case and
+:func:`format_summary` at the end; ``taxiqueue conformance report DIR``
+reloads the per-case ``report.json`` files a previous run left in its
+``--out`` directory and re-summarizes them (CI uploads that directory
+as the divergence artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.conformance.runner import CaseReport
+
+
+def format_report(report: CaseReport) -> str:
+    """One case as a short multi-line block."""
+    lines = [
+        f"case {report.name}: "
+        f"{'DIVERGENT' if report.divergent else 'conformant'} "
+        f"({report.records} records, {report.spots} spots, "
+        f"{report.seconds:.1f}s)"
+    ]
+    for check in report.checks:
+        mark = "ok" if check.ok else "FAIL"
+        lines.append(f"  {check.name:<16} {mark}")
+        for detail in check.details[:5]:
+            lines.append(f"    {detail}")
+        if len(check.details) > 5:
+            lines.append(f"    ... {len(check.details) - 5} more")
+    if report.shrink:
+        if "error" in report.shrink:
+            lines.append(f"  shrink: {report.shrink['error']}")
+        else:
+            lines.append(
+                f"  shrink[{report.shrink['check']}]: "
+                f"{report.shrink['initial_records']} -> "
+                f"{report.shrink['minimal_records']} records "
+                f"({report.shrink['taxis_kept']} taxis, "
+                f"{report.shrink['predicate_runs']} probes)"
+            )
+    if report.artifact_dir and report.divergent:
+        lines.append(f"  artifacts: {report.artifact_dir}")
+    return "\n".join(lines)
+
+
+def format_summary(reports: Sequence[CaseReport]) -> str:
+    """The bottom line over a whole matrix."""
+    divergent = [r for r in reports if r.divergent]
+    checks = sum(len(r.checks) for r in reports)
+    failed = sum(len(r.failed_checks) for r in reports)
+    seconds = sum(r.seconds for r in reports)
+    verdict = (
+        "all conformant"
+        if not divergent
+        else f"{len(divergent)} divergent: "
+        + ", ".join(r.name for r in divergent)
+    )
+    return (
+        f"{len(reports)} cases, {checks} checks ({failed} failed), "
+        f"{seconds:.1f}s total — {verdict}"
+    )
+
+
+def load_reports(directory) -> List[Dict]:
+    """Every ``report.json`` under a run's ``--out`` directory.
+
+    Raises:
+        FileNotFoundError: when the directory does not exist.
+        ValueError: when no report files are found in it.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no such directory: {directory}")
+    reports = []
+    for path in sorted(directory.glob("*/report.json")):
+        with open(path, "r", encoding="utf-8") as fh:
+            reports.append(json.load(fh))
+    if not reports:
+        raise ValueError(f"no case reports under {directory}")
+    return reports
+
+
+def format_loaded_summary(reports: List[Dict]) -> str:
+    """:func:`format_summary` over reloaded report dicts."""
+    divergent = [r for r in reports if r.get("divergent")]
+    checks = sum(len(r.get("checks", [])) for r in reports)
+    failed = sum(
+        1
+        for r in reports
+        for check in r.get("checks", [])
+        if not check.get("ok")
+    )
+    seconds = sum(r.get("seconds", 0.0) for r in reports)
+    verdict = (
+        "all conformant"
+        if not divergent
+        else f"{len(divergent)} divergent: "
+        + ", ".join(r["name"] for r in divergent)
+    )
+    return (
+        f"{len(reports)} cases, {checks} checks ({failed} failed), "
+        f"{seconds:.1f}s total — {verdict}"
+    )

@@ -1,0 +1,152 @@
+"""Delta-debugging reduction of a diverging day.
+
+Given a record list and a predicate "does this subset still diverge?",
+:func:`shrink_records` produces a (1-minimal up to budget) subset using
+Zeller's ddmin, in two granularities: whole taxis first — a day has far
+fewer taxis than records, and a divergence almost always lives in a
+handful of trajectories — then individual records of the survivors.
+
+The predicate runs the full comparison pipeline per probe, so the run
+budget (``max_runs``) is the real cost knob; when it is exhausted the
+current (still-diverging, just not minimal) subset is returned.
+Subsets always preserve the canonical record order of the input, so
+every probe is a well-formed day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.trace.record import MdtRecord
+
+T = TypeVar("T")
+
+Predicate = Callable[[List[MdtRecord]], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one two-level shrink."""
+
+    records: List[MdtRecord]
+    predicate_runs: int = 0
+    initial_records: int = 0
+    taxis_kept: int = 0
+    exhausted: bool = False
+    """True when the run budget stopped the reduction early."""
+
+
+class _Budget:
+    def __init__(self, max_runs: int):
+        self.max_runs = max_runs
+        self.runs = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.runs >= self.max_runs
+
+
+def ddmin(
+    items: List[T],
+    test: Callable[[List[T]], bool],
+    budget: _Budget,
+) -> List[T]:
+    """Zeller's ddmin: a minimal sublist still satisfying ``test``.
+
+    ``items`` must already satisfy the predicate (the caller verifies);
+    order is preserved in every candidate.  Stops early on budget
+    exhaustion, returning the best (smallest known failing) sublist.
+    """
+    n = 2
+    while len(items) >= 2 and not budget.exhausted:
+        size = len(items)
+        chunk_starts = [size * i // n for i in range(n + 1)]
+        chunks = [
+            items[chunk_starts[i]:chunk_starts[i + 1]] for i in range(n)
+        ]
+        reduced = False
+        for chunk in chunks:
+            if budget.exhausted or not chunk or len(chunk) == size:
+                continue
+            budget.runs += 1
+            if test(chunk):
+                items = chunk
+                n = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        if n > 2:
+            for i in range(n):
+                complement = [
+                    item
+                    for j, chunk in enumerate(chunks)
+                    if j != i
+                    for item in chunk
+                ]
+                if budget.exhausted or len(complement) == size:
+                    continue
+                budget.runs += 1
+                if test(complement):
+                    items = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if n >= len(items):
+            break
+        n = min(len(items), 2 * n)
+    return items
+
+
+def shrink_records(
+    records: Sequence[MdtRecord],
+    diverges: Predicate,
+    max_runs: int = 400,
+) -> ShrinkResult:
+    """Two-level ddmin over a diverging day.
+
+    Args:
+        records: the full day, canonical order, already known to diverge.
+        diverges: True when the given subset still reproduces.
+        max_runs: total predicate-evaluation budget across both levels.
+
+    Raises:
+        ValueError: when the full input does not satisfy the predicate —
+            shrinking a non-diverging day would "minimize" to garbage.
+    """
+    records = list(records)
+    initial = len(records)
+    if not diverges(records):
+        raise ValueError("full record set does not diverge; nothing to shrink")
+    budget = _Budget(max_runs)
+
+    cache: dict = {}
+
+    def cached(subset: List[MdtRecord]) -> bool:
+        key = tuple(id(r) for r in subset)
+        if key not in cache:
+            cache[key] = diverges(subset)
+        return cache[key]
+
+    taxis = sorted({r.taxi_id for r in records})
+    if len(taxis) > 1:
+
+        def taxi_test(subset_taxis: List[str]) -> bool:
+            keep = set(subset_taxis)
+            return cached([r for r in records if r.taxi_id in keep])
+
+        taxis = ddmin(taxis, taxi_test, budget)
+        keep = set(taxis)
+        records = [r for r in records if r.taxi_id in keep]
+
+    minimal = ddmin(records, cached, budget)
+    return ShrinkResult(
+        records=minimal,
+        predicate_runs=budget.runs,
+        initial_records=initial,
+        taxis_kept=len({r.taxi_id for r in minimal}),
+        exhausted=budget.exhausted,
+    )

@@ -1,0 +1,126 @@
+"""Property-based tests of the queueing analytics.
+
+Pins the algebraic edges the example-based tests skate over: Little's
+law at a zero arrival rate, M/M/c behaviour at the stability boundary
+and its collapse to M/M/1 at ``c=1``, and non-negativity/ordering of
+the FIFO simulator's waits.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.fifo import FifoQueueSim
+from repro.queueing.littles_law import (
+    little_arrival_rate,
+    little_queue_length,
+    little_wait_time,
+)
+from repro.queueing.mmc import (
+    erlang_c,
+    mm1_mean_wait,
+    mmc_mean_queue_length,
+    mmc_mean_wait,
+    utilisation,
+)
+
+rates = st.floats(min_value=0.01, max_value=50.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestLittlesLaw:
+    @given(wait=st.floats(min_value=0.0, max_value=1e9,
+                          allow_nan=False, allow_infinity=False))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_arrival_rate_means_empty_queue(self, wait):
+        assert little_queue_length(0.0, wait) == 0.0
+
+    @given(rate=rates, wait=st.floats(min_value=0.001, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_three_way_relation_is_consistent(self, rate, wait):
+        length = little_queue_length(rate, wait)
+        assert little_wait_time(length, rate) == pytest.approx(wait)
+        assert little_arrival_rate(length, wait) == pytest.approx(rate)
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ValueError):
+            little_queue_length(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            little_queue_length(1.0, -1.0)
+        with pytest.raises(ValueError):
+            little_arrival_rate(1.0, 0.0)
+        with pytest.raises(ValueError):
+            little_wait_time(1.0, 0.0)
+
+
+class TestMmc:
+    @given(mu=rates, factor=st.floats(min_value=1.0, max_value=5.0),
+           servers=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_unstable_system_raises(self, mu, factor, servers):
+        # lambda >= c * mu puts utilisation at or past 1.
+        lam = mu * servers * factor
+        assert utilisation(lam, mu, servers) >= 1.0
+        with pytest.raises(ValueError):
+            erlang_c(lam, mu, servers)
+        with pytest.raises(ValueError):
+            mmc_mean_wait(lam, mu, servers)
+
+    @given(mu=rates, rho=st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_single_server_collapses_to_mm1(self, mu, rho):
+        lam = rho * mu
+        assume(lam > 0)
+        wait_c = mmc_mean_wait(lam, mu, servers=1)
+        assert wait_c == pytest.approx(mm1_mean_wait(lam, mu))
+        # Closed form for M/M/1: Wq = rho / (mu - lambda).
+        assert wait_c == pytest.approx(rho / (mu - lam), rel=1e-9)
+
+    @given(mu=rates, rho=st.floats(min_value=0.01, max_value=0.9),
+           servers=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_queue_length_obeys_littles_law(self, mu, rho, servers):
+        lam = rho * servers * mu
+        wait = mmc_mean_wait(lam, mu, servers)
+        assert mmc_mean_queue_length(lam, mu, servers) == pytest.approx(
+            little_queue_length(lam, wait)
+        )
+
+    @given(mu=rates, rho=st.floats(min_value=0.01, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_erlang_c_is_a_probability(self, mu, rho):
+        lam = rho * mu
+        p_wait = erlang_c(lam, mu, servers=1)
+        assert 0.0 <= p_wait <= 1.0
+
+
+class TestFifoSim:
+    @given(lam=st.floats(min_value=0.01, max_value=1.0),
+           mu=st.floats(min_value=0.01, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_waits_are_non_negative_and_fifo(self, lam, mu, seed):
+        result = FifoQueueSim(lam, mu, seed=seed).run(600.0)
+        assert all(w >= 0.0 for w in result.waits)
+        # FIFO with one server: service starts in arrival order.
+        assert result.departures == sorted(result.departures)
+        assert len(result.waits) == len(result.departures)
+        assert result.time_avg_queue_length >= 0.0
+        assert result.mean_wait >= 0.0
+
+    def test_empty_horizon_yields_empty_result(self):
+        # A seed whose first interarrival exceeds the horizon.
+        result = FifoQueueSim(0.001, 1.0, seed=1).run(0.5)
+        assert result.waits == []
+        assert result.mean_wait == 0.0
+        assert result.time_avg_queue_length == 0.0
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            FifoQueueSim(0.0, 1.0)
+        with pytest.raises(ValueError):
+            FifoQueueSim(1.0, -1.0)
+        with pytest.raises(ValueError):
+            FifoQueueSim(1.0, 1.0).run(0.0)
