@@ -96,6 +96,52 @@ def test_parallel_speedup(bench_day, serial_timing):
     emit("parallel_speedup", rows)
 
 
+def test_shard_serialization_bytes(bench_day, serial_timing):
+    """Per-stage pickle payload of the worker handoff, row vs columnar.
+
+    Tier 1 is where the refactor changed the wire format: a
+    :class:`Tier1BatchShardTask` ships six raw column buffers where a
+    :class:`Tier1ShardTask` pickled every record object.  The zone and
+    spot stages are unchanged and reported for scale.
+    """
+    import pickle
+
+    from repro.parallel.shards import (
+        plan_tier1_batch_shards,
+        plan_tier1_shards,
+    )
+
+    engine = fresh_engine(bench_day)
+    store = bench_day.store
+    plan_args = (
+        engine.zones,
+        4,
+        True,
+        engine.city_bbox,
+        engine.inaccessible,
+        engine.config.detection,
+    )
+    row_tasks = plan_tier1_shards(store, *plan_args)
+    batch_tasks = plan_tier1_batch_shards(store, *plan_args)
+    row_bytes = sum(len(pickle.dumps(t)) for t in row_tasks)
+    batch_bytes = sum(len(pickle.dumps(t)) for t in batch_tasks)
+    assert len(batch_tasks) == len(row_tasks)
+    assert batch_bytes < row_bytes
+
+    rows = [
+        f"tier-1 shard handoff bytes ({len(store):,} records, "
+        f"{len(row_tasks)} shards)",
+        "",
+        f"{'stage':>22}  {'bytes':>12}  {'bytes/record':>12}",
+        f"{'tier1 rows (before)':>22}  {row_bytes:>12,}  "
+        f"{row_bytes / len(store):>12.1f}",
+        f"{'tier1 columns (after)':>22}  {batch_bytes:>12,}  "
+        f"{batch_bytes / len(store):>12.1f}",
+        f"{'reduction':>22}  {row_bytes / batch_bytes:>11.2f}x",
+    ]
+    emit("parallel_shard_bytes", rows)
+
+
 def test_parallel_csv_ingest_throughput(bench_day, serial_timing, tmp_path):
     """Chunked CSV ingest: split + sharded load + tier 1, end to end."""
     csv_path = tmp_path / "bench_day.csv"

@@ -19,13 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.columnar import RecordBatch
 from repro.core.features import AmplificationPolicy, compute_slot_features
+from repro.core.pea import extract_pickup_events_batch
 from repro.core.qcd import disambiguate
 from repro.core.spots import (
     SpotDetectionParams,
     SpotDetectionResult,
     assign_events_to_spots,
-    detect_queue_spots,
+    detect_from_centroids,
+    pickup_centroids,
 )
 from repro.core.thresholds import (
     QcdThresholds,
@@ -39,7 +42,7 @@ from repro.core.wte import WaitEvent, extract_wait_times
 from repro.geo.bbox import BBox
 from repro.geo.point import LocalProjection
 from repro.geo.zones import ZonePartition
-from repro.trace.cleaning import CleaningReport, clean_store
+from repro.trace.cleaning import CleaningReport, clean_batch, clean_store
 from repro.trace.log_store import MdtLogStore
 
 
@@ -201,14 +204,47 @@ class QueueAnalyticEngine:
 
     # -- tier 1 -----------------------------------------------------------------
 
-    def detect_spots(self, store: MdtLogStore) -> SpotDetectionResult:
-        """Run the queue spot detection tier on a (long-term) store."""
-        cleaned = self.preprocess(store)
-        return detect_queue_spots(
-            cleaned,
-            zones=self.zones,
-            projection=self.projection,
-            params=self.config.detection,
+    def detect_spots(self, store) -> SpotDetectionResult:
+        """Run the queue spot detection tier on a (long-term) store.
+
+        Accepts an :class:`MdtLogStore` or a
+        :class:`~repro.columnar.RecordBatch`; either way the tier runs
+        on the columnar data plane — cleaning as column masks, PEA as a
+        column cursor — with rows materialized only at the pickup-event
+        boundary.  Outputs are byte-identical to the historical
+        row-at-a-time path (pinned by the conformance matrix and the
+        golden fixture).
+        """
+        if isinstance(store, RecordBatch):
+            batch = store
+        else:
+            batch = RecordBatch.from_store(store)
+        if self.config.clean_inputs:
+            with self.tracer.span("stage.clean") as span:
+                cleaned, report = clean_batch(
+                    batch,
+                    city_bbox=self.city_bbox,
+                    inaccessible=self.inaccessible,
+                )
+                span.set(
+                    records=report.total_in, removed=report.total_removed
+                )
+            self.last_cleaning_report = report
+        else:
+            cleaned = batch
+        with self.tracer.span("stage.pea") as span:
+            events = extract_pickup_events_batch(
+                cleaned,
+                speed_threshold_kmh=self.config.detection.speed_threshold_kmh,
+                apply_state_filters=self.config.detection.apply_state_filters,
+            )
+            span.set(records=len(cleaned), events=len(events))
+        return detect_from_centroids(
+            pickup_centroids(events),
+            self.zones,
+            self.projection,
+            self.config.detection,
+            events=events,
             tracer=self.tracer,
         )
 

@@ -29,12 +29,17 @@ same constraints (the paper leaves end-of-input unspecified).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
+from repro.columnar import RecordBatch
 from repro.states.states import (
+    STATE_CODES,
     TaxiState,
+    OCCUPIED_CODES,
     OCCUPIED_STATES,
+    UNOCCUPIED_CODES,
     UNOCCUPIED_STATES,
+    NON_OPERATIONAL_CODES,
     NON_OPERATIONAL_STATES,
 )
 from repro.trace.trajectory import SubTrajectory, Trajectory
@@ -148,6 +153,122 @@ def extract_pickup_events_with_stats(
         rejected_no_transition=rejected_no_transition,
     )
     return omega, stats
+
+
+def extract_pickup_events_from_columns(
+    taxi_id: str,
+    batch: RecordBatch,
+    speed_threshold_kmh: float = DEFAULT_SPEED_THRESHOLD_KMH,
+    apply_state_filters: bool = True,
+) -> Tuple[List[SubTrajectory], PeaStats]:
+    """Algorithm 1 as a cursor over one taxi's columns.
+
+    The scan and the section-4.2 constraints run on the speed and
+    state-code columns alone; a :class:`Trajectory` is materialized
+    once per taxi — and only for taxis that keep at least one event —
+    so rejected candidates and event-free taxis never allocate record
+    objects.  Events and :class:`PeaStats` are identical to
+    :func:`extract_pickup_events` over the same rows (pinned by parity
+    tests and the conformance matrix).
+
+    Args:
+        taxi_id: the taxi the rows belong to.
+        batch: the taxi's cleaned rows, time-ordered.
+    """
+    if speed_threshold_kmh <= 0:
+        raise ValueError("speed threshold must be positive")
+    speed_col, state_col = batch.speed, batch.state
+    free_code = STATE_CODES[TaxiState.FREE]
+    oncall_code = STATE_CODES[TaxiState.ONCALL]
+
+    kept: List[Tuple[int, int]] = []
+    candidates = 0
+    rejected_alight = 0
+    rejected_oncall_leave = 0
+    rejected_no_transition = 0
+
+    def finalize(start_idx: int, end_idx: int) -> None:
+        nonlocal candidates, rejected_alight, rejected_oncall_leave
+        nonlocal rejected_no_transition
+        candidates += 1
+        if apply_state_filters:
+            first_code = state_col[start_idx]
+            last_code = state_col[end_idx]
+            if first_code in OCCUPIED_CODES and last_code in UNOCCUPIED_CODES:
+                rejected_alight += 1
+                return
+            if first_code == free_code and last_code == oncall_code:
+                rejected_oncall_leave += 1
+                return
+            if all(
+                state_col[j] == first_code
+                for j in range(start_idx + 1, end_idx + 1)
+            ):
+                rejected_no_transition += 1
+                return
+        kept.append((start_idx, end_idx))
+
+    phi1 = False
+    phi2 = False
+    start_idx = -1
+    n = len(batch)
+    for i in range(n):
+        if state_col[i] in NON_OPERATIONAL_CODES:
+            # TAG1: drop any open candidate and restart the scan.
+            phi1 = False
+            phi2 = False
+            continue
+        low = speed_col[i] <= speed_threshold_kmh
+        if low:
+            if not phi1:
+                phi1 = True
+            elif not phi2:
+                start_idx = i - 1
+                phi2 = True
+        else:
+            if phi2:
+                finalize(start_idx, i - 1)
+            phi1 = False
+            phi2 = False
+    if phi2:
+        finalize(start_idx, n - 1)
+
+    events: List[SubTrajectory] = []
+    if kept:
+        # The one per-taxi object boundary: rows materialize only when
+        # the taxi actually produced events.
+        trajectory = Trajectory(taxi_id, batch.to_rows())
+        events = [trajectory.sub(s, e) for s, e in kept]
+    stats = PeaStats(
+        candidates=candidates,
+        kept=len(events),
+        rejected_alight=rejected_alight,
+        rejected_oncall_leave=rejected_oncall_leave,
+        rejected_no_transition=rejected_no_transition,
+    )
+    return events, stats
+
+
+def extract_pickup_events_batch(
+    batch: RecordBatch,
+    speed_threshold_kmh: float = DEFAULT_SPEED_THRESHOLD_KMH,
+    apply_state_filters: bool = True,
+) -> List[SubTrajectory]:
+    """Run PEA over every taxi in a batch (columnar sibling of
+    :func:`extract_all_pickup_events`).
+
+    Taxis are visited in sorted-id order, so the event list is
+    identical to the store path's.
+    """
+    from repro.trace.partition import partition_batch_by_taxi
+
+    events: List[SubTrajectory] = []
+    for taxi_id, sub in partition_batch_by_taxi(batch):
+        taxi_events, _ = extract_pickup_events_from_columns(
+            taxi_id, sub, speed_threshold_kmh, apply_state_filters
+        )
+        events.extend(taxi_events)
+    return events
 
 
 def extract_all_pickup_events(

@@ -14,6 +14,11 @@ materialising all of it.  Two streaming passes achieve that:
 Workers then load only their own shard file.  A taxi never splits
 across shards, so per-taxi cleaning and PEA see whole trajectories.
 
+Full-fidelity ingest is columnar: :func:`load_csv_batch` parses a CSV
+straight into a :class:`~repro.columnar.RecordBatch` (no intermediate
+record objects) and :func:`iter_csv_batches` streams fixed-size batches
+for bounded-memory consumers.
+
 Both passes tolerate garbage the way a real operator feed demands:
 truncated lines, non-numeric or non-finite coordinates and empty taxi
 ids are counted (and excluded from shards), never raised.  Lines that
@@ -84,6 +89,32 @@ def _check_header(fh: TextIO, path: Path) -> None:
     header = fh.readline()
     if header.strip() != MdtRecord.CSV_HEADER:
         raise ValueError(f"unexpected CSV header in {path}: {header!r}")
+
+
+def load_csv_batch(path, on_error: str = "skip"):
+    """Parse a log CSV straight into a columnar batch.
+
+    Thin alias of :meth:`RecordBatch.from_csv` kept here so ingest
+    callers have one import site; malformed lines land in the batch's
+    ``skipped_lines`` counter (``on_error="skip"``) or raise.
+    """
+    from repro.columnar import RecordBatch
+
+    return RecordBatch.from_csv(path, on_error=on_error)
+
+
+def iter_csv_batches(path, batch_rows: int = 65536, on_error: str = "skip"):
+    """Stream a log CSV as fixed-size columnar batches.
+
+    Yields :class:`~repro.columnar.RecordBatch` chunks of at most
+    ``batch_rows`` rows, so no caller ever holds the whole day; see
+    :meth:`RecordBatch.iter_csv`.
+    """
+    from repro.columnar import RecordBatch
+
+    yield from RecordBatch.iter_csv(
+        path, batch_rows=batch_rows, on_error=on_error
+    )
 
 
 def scan_csv(path) -> CsvScan:

@@ -61,15 +61,15 @@ from repro.core.spots import (
 from repro.core.types import TimeSlotGrid
 from repro.parallel import worker as worker_mod
 from repro.parallel.ingest import split_csv_by_zone
+from repro.columnar import RecordBatch
 from repro.parallel.shards import (
     SpotTask,
     Tier1FileShardTask,
     Tier1ShardResult,
-    Tier1ShardTask,
     ZoneClusterResult,
     ZoneClusterTask,
     detach_event,
-    plan_tier1_shards,
+    plan_tier1_batch_shards,
 )
 from repro.service.metrics import MetricsRegistry
 from repro.trace.cleaning import CleaningReport
@@ -322,7 +322,7 @@ class ParallelEngineRunner:
         if self.workers <= 1:
             return self.engine.detect_spots(store)
         cfg = self.engine.config
-        tasks = plan_tier1_shards(
+        tasks = plan_tier1_batch_shards(
             store,
             self.engine.zones,
             target_shards=self._target_shards(),
@@ -372,11 +372,13 @@ class ParallelEngineRunner:
         self, path, shard_dir=None
     ) -> SpotDetectionResult:
         if self.workers <= 1:
-            store = MdtLogStore.from_csv(path, on_error="skip")
-            detection = self.engine.detect_spots(store)
+            # Columnar serial path: parse straight into columns, no
+            # intermediate record objects.
+            batch = RecordBatch.from_csv(path, on_error="skip")
+            detection = self.engine.detect_spots(batch)
             if self.engine.last_cleaning_report is not None:
                 self.engine.last_cleaning_report.malformed_line += (
-                    store.skipped_lines
+                    batch.skipped_lines
                 )
             return detection
         cfg = self.engine.config
@@ -402,11 +404,11 @@ class ParallelEngineRunner:
             occupied_zones = {shard.zone for shard in split.shards}
             if len(split.shards) <= 1 or len(occupied_zones) <= 1:
                 self.metrics.counter("parallel.tier1.serial_shortcut").inc()
-                store = MdtLogStore.from_csv(path, on_error="skip")
-                detection = self.engine.detect_spots(store)
+                batch = RecordBatch.from_csv(path, on_error="skip")
+                detection = self.engine.detect_spots(batch)
                 if self.engine.last_cleaning_report is not None:
                     self.engine.last_cleaning_report.malformed_line += (
-                        store.skipped_lines + split.malformed_lines
+                        batch.skipped_lines + split.malformed_lines
                     )
                 return detection
             tasks = [

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.columnar import RecordBatch
 from repro.core.engine import SpotAnalysis
 from repro.core.features import AmplificationPolicy
 from repro.core.spots import SpotDetectionParams
@@ -79,6 +80,29 @@ class Tier1ShardTask:
     trace: bool = False
     """Measure per-stage worker spans into the result (see
     :mod:`repro.obs`); purely observational, never changes output."""
+
+
+@dataclass
+class Tier1BatchShardTask:
+    """Cleaning + PEA over one zone-chunk of taxis (columnar records).
+
+    The columnar sibling of :class:`Tier1ShardTask` and the default
+    in-memory handoff: ``batch`` pickles as six raw column buffers plus
+    the interned id table (see ``RecordBatch.__reduce__``), so shipping
+    a shard to a worker costs O(columns) buffer copies instead of
+    O(records) object pickling.  Rows are grouped per taxi in sorted-id
+    order, time-ordered within each taxi.
+    """
+
+    shard_id: int
+    zone: str
+    batch: RecordBatch
+    clean: bool
+    city_bbox: Optional[BBox]
+    inaccessible: List[BBox]
+    params: SpotDetectionParams
+    trace: bool = False
+    """See :attr:`Tier1ShardTask.trace`."""
 
 
 @dataclass
@@ -173,6 +197,79 @@ def taxi_home_zone(zones: ZonePartition, records: List[MdtRecord]) -> str:
     """
     first = records[0]
     return zones.classify_or_nearest(first.lon, first.lat)
+
+
+def plan_tier1_batch_shards(
+    source: Union[MdtLogStore, RecordBatch],
+    zones: ZonePartition,
+    target_shards: int,
+    clean: bool,
+    city_bbox: Optional[BBox],
+    inaccessible: List[BBox],
+    params: SpotDetectionParams,
+) -> List[Tier1BatchShardTask]:
+    """The columnar :func:`plan_tier1_shards`: batch-carrying shards.
+
+    Same plan as the row planner — taxis visited in sorted-id order,
+    grouped by home zone, chunks filled greedily against a
+    ``total_records / target_shards`` budget — so a chunk holds exactly
+    the taxis its row-path twin would; only the payload differs (one
+    packed sub-batch per shard instead of a list of record lists).
+    """
+    from repro.trace.partition import partition_batch_by_taxi
+
+    if target_shards < 1:
+        raise ValueError("target_shards must be >= 1")
+    batch = (
+        source
+        if isinstance(source, RecordBatch)
+        else RecordBatch.from_store(source)
+    )
+    by_zone: Dict[str, List[Tuple[str, RecordBatch]]] = {
+        zone.name: [] for zone in zones
+    }
+    total_records = 0
+    for taxi_id, sub in partition_batch_by_taxi(batch):
+        if len(sub) == 0:
+            continue
+        zone_name = zones.classify_or_nearest(sub.lon[0], sub.lat[0])
+        by_zone[zone_name].append((taxi_id, sub))
+        total_records += len(sub)
+    if total_records == 0:
+        return []
+
+    budget = max(1, total_records // target_shards)
+    tasks: List[Tier1BatchShardTask] = []
+
+    def flush(zone_name: str, chunk: List[Tuple[str, RecordBatch]]) -> None:
+        tasks.append(
+            Tier1BatchShardTask(
+                shard_id=len(tasks),
+                zone=zone_name,
+                batch=RecordBatch.concat([sub for _, sub in chunk]),
+                clean=clean,
+                city_bbox=city_bbox,
+                inaccessible=list(inaccessible),
+                params=params,
+            )
+        )
+
+    for zone in zones:
+        group = by_zone[zone.name]
+        if not group:
+            continue
+        chunk: List[Tuple[str, RecordBatch]] = []
+        chunk_records = 0
+        for taxi_id, sub in group:
+            if chunk and chunk_records + len(sub) > budget:
+                flush(zone.name, chunk)
+                chunk = []
+                chunk_records = 0
+            chunk.append((taxi_id, sub))
+            chunk_records += len(sub)
+        if chunk:
+            flush(zone.name, chunk)
+    return tasks
 
 
 def plan_tier1_shards(

@@ -25,15 +25,20 @@ from __future__ import annotations
 
 import os
 import time
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
+from repro.columnar import RecordBatch
 from repro.core.engine import analyze_spot
-from repro.core.pea import extract_pickup_events
+from repro.core.pea import (
+    extract_pickup_events,
+    extract_pickup_events_from_columns,
+)
 from repro.core.spots import cluster_zone
 from repro.obs.tracer import worker_span
 from repro.parallel.shards import (
     SpotResult,
     SpotTask,
+    Tier1BatchShardTask,
     Tier1FileShardTask,
     Tier1ShardResult,
     Tier1ShardTask,
@@ -41,7 +46,8 @@ from repro.parallel.shards import (
     ZoneClusterTask,
     detach_event,
 )
-from repro.trace.cleaning import CleaningReport, clean_records
+from repro.trace.cleaning import CleaningReport, clean_records, clean_taxi_batch
+from repro.trace.partition import partition_batch_by_taxi
 from repro.trace.record import MdtRecord
 from repro.trace.trajectory import SubTrajectory, Trajectory
 
@@ -100,28 +106,78 @@ def _clean_pea_taxis(
     return out, clean_s, pea_s
 
 
+def _clean_pea_taxi_batches(
+    groups: List[Tuple[str, RecordBatch]],
+    task: Union[Tier1BatchShardTask, Tier1FileShardTask],
+    report: CleaningReport,
+) -> Tuple[List[Tuple[str, List[SubTrajectory]]], float, float]:
+    """Columnar :func:`_clean_pea_taxis`: mask cleaning + cursor PEA.
+
+    Identical events and accounting for identical rows; record objects
+    exist only inside the detached events that ride back on the result.
+    """
+    out: List[Tuple[str, List[SubTrajectory]]] = []
+    clean_s = 0.0
+    pea_s = 0.0
+    trace = task.trace
+    for taxi_id, sub in groups:
+        if task.clean:
+            t0 = time.perf_counter() if trace else 0.0
+            sub = clean_taxi_batch(
+                sub,
+                city_bbox=task.city_bbox,
+                inaccessible=task.inaccessible,
+                report=report,
+            )
+            if trace:
+                clean_s += time.perf_counter() - t0
+        t0 = time.perf_counter() if trace else 0.0
+        events, _ = extract_pickup_events_from_columns(
+            taxi_id,
+            sub,
+            speed_threshold_kmh=task.params.speed_threshold_kmh,
+            apply_state_filters=task.params.apply_state_filters,
+        )
+        if trace:
+            pea_s += time.perf_counter() - t0
+        out.append((taxi_id, [detach_event(event) for event in events]))
+    return out, clean_s, pea_s
+
+
 def run_tier1_shard(
-    task: Union[Tier1ShardTask, Tier1FileShardTask],
+    task: Union[Tier1ShardTask, Tier1BatchShardTask, Tier1FileShardTask],
     allow_fault: bool = True,
 ) -> Tier1ShardResult:
-    """Cleaning + PEA over one shard (inline records or a CSV file)."""
+    """Cleaning + PEA over one shard (columns, inline records or a CSV).
+
+    :class:`Tier1BatchShardTask` and :class:`Tier1FileShardTask` run the
+    columnar plane (a file shard is parsed straight into columns);
+    :class:`Tier1ShardTask` keeps the historical row path for callers
+    that still plan record-list shards.
+    """
     start = time.perf_counter()
     start_wall = time.time()
     if allow_fault:
         _maybe_inject_fault("tier1")
     report = CleaningReport()
+    groups: Optional[List[Tuple[str, RecordBatch]]] = None
     if isinstance(task, Tier1FileShardTask):
-        from repro.trace.log_store import MdtLogStore
-
-        store = MdtLogStore.from_csv(task.path, on_error="skip")
-        report.malformed_line += store.skipped_lines
-        taxis = [
-            (taxi_id, store.records_of(taxi_id)) for taxi_id in store.taxi_ids
-        ]
+        batch = RecordBatch.from_csv(task.path, on_error="skip")
+        report.malformed_line += batch.skipped_lines
+        groups = partition_batch_by_taxi(batch)
+        records_in = len(batch)
+    elif isinstance(task, Tier1BatchShardTask):
+        groups = partition_batch_by_taxi(task.batch)
+        records_in = len(task.batch)
     else:
         taxis = task.taxis
-    records_in = sum(len(records) for _, records in taxis)
-    events_by_taxi, clean_s, pea_s = _clean_pea_taxis(taxis, task, report)
+        records_in = sum(len(records) for _, records in taxis)
+    if groups is not None:
+        events_by_taxi, clean_s, pea_s = _clean_pea_taxi_batches(
+            groups, task, report
+        )
+    else:
+        events_by_taxi, clean_s, pea_s = _clean_pea_taxis(taxis, task, report)
     spans: List[dict] = []
     if task.trace:
         attrs = {

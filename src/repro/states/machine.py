@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-from repro.states.states import TaxiState
+from repro.states.states import STATES_BY_CODE, TaxiState
 
 
 class TransitionError(ValueError):
@@ -84,6 +84,28 @@ def is_valid_transition(current: TaxiState, nxt: TaxiState) -> bool:
     if current is nxt:
         return True
     return nxt in ALLOWED_TRANSITIONS[current]
+
+
+def _code_matrix() -> Tuple[bytes, ...]:
+    rows = []
+    for current in STATES_BY_CODE:
+        row = bytearray(len(STATES_BY_CODE))
+        for code, nxt in enumerate(STATES_BY_CODE):
+            row[code] = 1 if is_valid_transition(current, nxt) else 0
+        rows.append(bytes(row))
+    return tuple(rows)
+
+
+#: :func:`is_valid_transition` over integer state codes, as a dense
+#: ``matrix[current][nxt]`` byte table (self-transitions included).  The
+#: columnar cleaning scan checks chain validity through this table so a
+#: column cursor never materializes :class:`TaxiState` objects.
+TRANSITION_CODE_MATRIX: Tuple[bytes, ...] = _code_matrix()
+
+
+def is_valid_transition_code(current: int, nxt: int) -> bool:
+    """:func:`is_valid_transition` over integer state codes."""
+    return TRANSITION_CODE_MATRIX[current][nxt] == 1
 
 
 def validate_sequence(states: Sequence[TaxiState]) -> None:

@@ -56,6 +56,21 @@ class TaxiState(enum.Enum):
         return self.value
 
 
+#: Every state in enum declaration order; index == integer state code.
+#: The columnar data plane (``repro.columnar``), the binary ``.npz``
+#: format and the shard handoff all share this one coding, so a code
+#: written by any layer decodes identically in every other.
+STATES_BY_CODE = tuple(TaxiState)
+
+#: ``state -> integer code`` (the inverse of :data:`STATES_BY_CODE`).
+STATE_CODES = {state: code for code, state in enumerate(STATES_BY_CODE)}
+
+
+def state_code(state: TaxiState) -> int:
+    """The stable integer code of a state (see :data:`STATES_BY_CODE`)."""
+    return STATE_CODES[state]
+
+
 #: Theta (Definition 5.1): a passenger is on board or just finishing a trip.
 OCCUPIED_STATES = frozenset({TaxiState.POB, TaxiState.STC, TaxiState.PAYMENT})
 
@@ -67,6 +82,14 @@ UNOCCUPIED_STATES = frozenset(
 #: Lambda (Definition 5.3): the taxi is not operating.
 NON_OPERATIONAL_STATES = frozenset(
     {TaxiState.BREAK, TaxiState.OFFLINE, TaxiState.POWEROFF}
+)
+
+#: The three Definition-5 sets as integer codes, for column scans that
+#: never materialize :class:`TaxiState` objects.
+OCCUPIED_CODES = frozenset(STATE_CODES[s] for s in OCCUPIED_STATES)
+UNOCCUPIED_CODES = frozenset(STATE_CODES[s] for s in UNOCCUPIED_STATES)
+NON_OPERATIONAL_CODES = frozenset(
+    STATE_CODES[s] for s in NON_OPERATIONAL_STATES
 )
 
 

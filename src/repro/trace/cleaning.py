@@ -20,12 +20,15 @@ store and a :class:`CleaningReport` with per-class counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.geo.bbox import BBox
-from repro.states.machine import is_valid_transition
+from repro.states.machine import TRANSITION_CODE_MATRIX, is_valid_transition
 from repro.trace.log_store import MdtLogStore
 from repro.trace.record import MdtRecord
+
+if TYPE_CHECKING:  # cycle-free: columnar.batch imports trace.record
+    from repro.columnar import RecordBatch
 
 
 @dataclass
@@ -137,6 +140,94 @@ def clean_records(
             continue
         kept.append(record)
     return kept
+
+
+def clean_taxi_batch(
+    batch: RecordBatch,
+    city_bbox: Optional[BBox] = None,
+    inaccessible: Iterable[BBox] = (),
+    report: Optional[CleaningReport] = None,
+) -> RecordBatch:
+    """Columnar :func:`clean_records` for one taxi's time-ordered rows.
+
+    Same three filters, same order, same chain-state semantics, same
+    :class:`CleaningReport` accounting — but as a cursor over the
+    batch's columns building a keep mask, with no record objects.  The
+    row/column equivalence is pinned by parity tests and the
+    conformance matrix.
+    """
+    if report is None:
+        report = CleaningReport()
+    report.total_in += len(batch)
+    inaccessible = list(inaccessible)
+
+    ts, lon, lat = batch.ts, batch.lon, batch.lat
+    speed, state = batch.speed, batch.state
+    kept: List[int] = []
+    prev = -1  # row index of the last non-duplicate record
+    chain = -1  # state code of the chain (see clean_records), -1 = none
+    for i in range(len(batch)):
+        if (
+            prev >= 0
+            and ts[i] == ts[prev]
+            and state[i] == state[prev]
+            and lon[i] == lon[prev]
+            and lat[i] == lat[prev]
+            and speed[i] == speed[prev]
+        ):
+            report.duplicate += 1
+            continue
+        prev = i
+
+        if chain >= 0 and not TRANSITION_CODE_MATRIX[chain][state[i]]:
+            report.improper_state += 1
+            continue
+        chain = state[i]
+
+        if city_bbox is not None and not city_bbox.contains(lon[i], lat[i]):
+            report.gps_error += 1
+            continue
+        if any(zone.contains(lon[i], lat[i]) for zone in inaccessible):
+            report.gps_error += 1
+            continue
+        kept.append(i)
+    if len(kept) == len(batch):
+        return batch
+    return batch.take(kept)
+
+
+def clean_batch(
+    batch: RecordBatch,
+    city_bbox: Optional[BBox] = None,
+    inaccessible: Iterable[BBox] = (),
+) -> Tuple[RecordBatch, CleaningReport]:
+    """Clean a whole batch (columnar sibling of :func:`clean_store`).
+
+    Rows are partitioned per taxi (stable argsort, or a linear pass for
+    already-grouped batches), each taxi's columns are mask-cleaned, and
+    the survivors are re-packed grouped by taxi in sorted-id order —
+    exactly the record order :func:`clean_store`'s output store yields.
+
+    Returns:
+        ``(cleaned_batch, report)`` with counts identical to the row
+        path's for the same rows.
+    """
+    from repro.columnar import RecordBatch
+    from repro.trace.partition import partition_batch_by_taxi
+
+    report = CleaningReport()
+    inaccessible = list(inaccessible)
+    parts: List[RecordBatch] = []
+    for _, sub in partition_batch_by_taxi(batch):
+        parts.append(
+            clean_taxi_batch(
+                sub,
+                city_bbox=city_bbox,
+                inaccessible=inaccessible,
+                report=report,
+            )
+        )
+    return RecordBatch.concat(parts), report
 
 
 def clean_store(

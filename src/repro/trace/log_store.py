@@ -21,14 +21,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.geo.bbox import BBox
-from repro.states.states import TaxiState
+from repro.states.states import STATE_CODES, STATES_BY_CODE, TaxiState
 from repro.trace.record import MdtRecord, format_timestamp, parse_timestamp
 
-#: Stable encoding of states for the binary (.npz) format.
-_STATE_CODES: Dict[TaxiState, int] = {
-    state: i for i, state in enumerate(TaxiState)
-}
-_CODE_STATES: Dict[int, TaxiState] = {i: s for s, i in _STATE_CODES.items()}
+#: Stable encoding of states for the binary (.npz) format — the shared
+#: state-code table (enum declaration order), so ``.npz`` archives and
+#: :class:`~repro.columnar.RecordBatch` columns agree on the coding.
+_STATE_CODES: Dict[TaxiState, int] = dict(STATE_CODES)
+_CODE_STATES: Dict[int, TaxiState] = dict(enumerate(STATES_BY_CODE))
 
 
 class MdtLogStore:
@@ -265,6 +265,22 @@ class MdtLogStore:
                     )
                 except (KeyError, ValueError, TypeError) as exc:
                     raise ValueError(f"bad JSONL record at line {i}: {exc}")
+        return store
+
+    def to_batch(self):
+        """Columnar view: this store as a
+        :class:`~repro.columnar.RecordBatch` in canonical grouped order
+        (taxis sorted by id, time-ordered within each taxi).
+        """
+        from repro.columnar import RecordBatch
+
+        return RecordBatch.from_store(self)
+
+    @classmethod
+    def from_batch(cls, batch) -> "MdtLogStore":
+        """Build a store from a :class:`~repro.columnar.RecordBatch`."""
+        store = cls()
+        store.extend(batch.iter_rows())
         return store
 
     def to_arrays(self) -> Dict[str, np.ndarray]:

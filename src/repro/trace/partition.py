@@ -1,18 +1,28 @@
-"""Calendar partitioning of log stores.
+"""Calendar and per-taxi partitioning of logs.
 
 The deployed system (section 7.1) works in daily units: detection pools
 "the most recent 5 week days' dataset and 2 weekend days' dataset", and
 context runs on single days.  These helpers split a multi-day store along
 midnight boundaries and tag each day with its day of week, producing
 exactly what :class:`repro.core.deployment.DeploymentScheduler` ingests.
+
+The columnar data plane partitions per taxi here too:
+:func:`partition_batch_by_taxi` turns a :class:`~repro.columnar.
+RecordBatch` into per-taxi sub-batches via one stable argsort over
+``(taxi, ts)`` instead of the store's dict-of-lists — with a linear
+fast path for batches already in the canonical grouped order, which is
+what cleaning output and ``RecordBatch.from_store`` produce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.trace.log_store import MdtLogStore
+
+if TYPE_CHECKING:  # cycle-free: columnar.batch imports trace.record
+    from repro.columnar import RecordBatch
 
 
 @dataclass(frozen=True)
@@ -69,3 +79,130 @@ def records_per_day(store: MdtLogStore) -> Dict[float, int]:
     return {
         part.day_start_ts: len(part.store) for part in split_by_day(store)
     }
+
+
+# -- per-taxi partitioning of columnar batches ------------------------------
+
+
+def _grouped_runs(batch: RecordBatch) -> List[Tuple[int, int, int]] | None:
+    """``(taxi_code, start, stop)`` runs when the batch is already in
+    canonical grouped order (each taxi contiguous, sorted ids,
+    nondecreasing ts within each run), else None.
+
+    One linear pass; this is the fast path that lets cleaning output and
+    ``from_store`` batches skip the argsort entirely.
+    """
+    taxi, ts = batch.taxi, batch.ts
+    table = batch.taxi_table
+    runs: List[Tuple[int, int, int]] = []
+    start = 0
+    prev_code = taxi[0]
+    seen = {prev_code}
+    for i in range(1, len(taxi)):
+        code = taxi[i]
+        if code == prev_code:
+            if ts[i] < ts[i - 1]:
+                return None
+            continue
+        if code in seen:
+            return None  # taxi split across runs
+        runs.append((prev_code, start, i))
+        if table[code] < table[prev_code]:
+            return None  # runs not in sorted-id order
+        seen.add(code)
+        start = i
+        prev_code = code
+    runs.append((prev_code, start, len(taxi)))
+    return runs
+
+
+def partition_batch_by_taxi(
+    batch: RecordBatch,
+) -> List[Tuple[str, RecordBatch]]:
+    """Split a batch into per-taxi sub-batches, sorted by taxi id.
+
+    Rows within each taxi come out in stable timestamp order — exactly
+    the order :meth:`MdtLogStore.records_of` produces, so the columnar
+    and the row pipeline scan identical per-taxi sequences.
+
+    Already-grouped batches (cleaning output, ``from_store``) split in
+    one linear pass; arbitrary row orders (a raw CSV day interleaves
+    taxis) fall back to a single stable argsort over ``(taxi, ts)``.
+    """
+    if len(batch) == 0:
+        return []
+    runs = _grouped_runs(batch)
+    if runs is not None:
+        return [
+            (batch.taxi_table[code], batch.slice(start, stop))
+            for code, start, stop in runs
+        ]
+    ts, taxi = batch.ts, batch.taxi
+    # Rank taxi codes by id so the tuple key sorts taxis lexically.
+    by_id = sorted(range(len(batch.taxi_table)), key=batch.taxi_table.__getitem__)
+    rank = [0] * len(by_id)
+    for r, code in enumerate(by_id):
+        rank[code] = r
+    order = sorted(range(len(ts)), key=lambda i: (rank[taxi[i]], ts[i]))
+    groups: List[Tuple[str, RecordBatch]] = []
+    start = 0
+    for i in range(1, len(order) + 1):
+        if i == len(order) or taxi[order[i]] != taxi[order[start]]:
+            taxi_id = batch.taxi_table[taxi[order[start]]]
+            groups.append((taxi_id, batch.take(order[start:i])))
+            start = i
+    return groups
+
+
+def group_batch_by_taxi(batch: RecordBatch) -> RecordBatch:
+    """The batch re-ordered into canonical grouped form.
+
+    Canonical form — taxis contiguous in sorted-id order, stable ts
+    order within each taxi — is the order the whole columnar pipeline
+    assumes and produces; after this, per-taxi partitioning is linear.
+    """
+    from repro.columnar import RecordBatch
+
+    runs = _grouped_runs(batch) if len(batch) else []
+    if runs is not None:
+        return batch
+    return RecordBatch.concat(
+        [sub for _, sub in partition_batch_by_taxi(batch)]
+    )
+
+
+@dataclass(frozen=True)
+class DayBatchPartition:
+    """One calendar day's slice of a batch (columnar sibling of
+    :class:`DayPartition`)."""
+
+    day_start_ts: float
+    day_of_week: int
+    batch: RecordBatch
+
+    @property
+    def day_end_ts(self) -> float:
+        return self.day_start_ts + 86400.0
+
+
+def split_batch_by_day(batch: RecordBatch) -> List[DayBatchPartition]:
+    """Split a batch along UTC midnight boundaries (column-mask scan)."""
+    if len(batch) == 0:
+        return []
+    ts = batch.ts
+    lo, hi = min(ts), max(ts)
+    day_start = lo - (lo % 86400.0)
+    partitions: List[DayBatchPartition] = []
+    while day_start <= hi:
+        day_end = day_start + 86400.0
+        indices = [i for i, t in enumerate(ts) if day_start <= t < day_end]
+        if indices:
+            partitions.append(
+                DayBatchPartition(
+                    day_start_ts=day_start,
+                    day_of_week=day_of_week_of(day_start),
+                    batch=batch.take(indices),
+                )
+            )
+        day_start = day_end
+    return partitions

@@ -25,9 +25,20 @@ TIMESTAMP_FORMAT = "%d/%m/%Y %H:%M:%S"
 
 
 def parse_timestamp(text: str) -> float:
-    """Parse a ``dd/mm/yyyy HH:MM:SS`` timestamp into POSIX seconds (UTC)."""
+    """Parse a ``dd/mm/yyyy HH:MM:SS`` timestamp into POSIX seconds (UTC).
+
+    Raises:
+        ValueError: when the text does not match the format, or when it
+            parses but yields a non-finite POSIX value — a NaN or
+            infinite timestamp would silently poison every downstream
+            time-slot and duration computation, so it is rejected here
+            with the same error class as a syntactically bad field.
+    """
     dt = datetime.strptime(text.strip(), TIMESTAMP_FORMAT)
-    return dt.replace(tzinfo=timezone.utc).timestamp()
+    ts = dt.replace(tzinfo=timezone.utc).timestamp()
+    if not isfinite(ts):
+        raise ValueError(f"non-finite POSIX timestamp from {text!r}")
+    return ts
 
 
 def format_timestamp(ts: float) -> str:
